@@ -1,0 +1,54 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one experiment from DESIGN.md §3: it runs the
+system(s), renders the experiment's table or series with
+:mod:`repro.analysis.reporting`, writes it to ``benchmarks/results/``, and
+asserts the qualitative shape of the paper's claim. Timing is reported via
+pytest-benchmark (single round — the experiments are deterministic, so
+statistical repetition buys nothing).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro import BTRConfig, BTRSystem
+from repro.faults import SingleFaultAdversary
+from repro.net import full_mesh_topology
+from repro.workload import industrial_workload
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Standard single-fault time for the 50 ms industrial workload.
+FAULT_AT = 220_000
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist an experiment's rendered table for EXPERIMENTS.md."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as f:
+        f.write(text)
+    print(text)
+
+
+def one_shot(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its
+    result (deterministic experiments need no statistical repetition)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def prepared_btr(workload=None, n_nodes: int = 7, f: int = 1,
+                 seed: int = 42, bandwidth: float = 1e8,
+                 config: Optional[BTRConfig] = None) -> BTRSystem:
+    workload = workload or industrial_workload()
+    topology = full_mesh_topology(n_nodes, bandwidth=bandwidth)
+    system = BTRSystem(workload, topology,
+                       config or BTRConfig(f=f, seed=seed))
+    system.prepare()
+    return system
+
+
+def single_fault(kind: str, at: int = FAULT_AT,
+                 node: Optional[str] = None) -> SingleFaultAdversary:
+    return SingleFaultAdversary(at=at, kind=kind, node=node)

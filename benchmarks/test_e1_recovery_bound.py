@@ -1,0 +1,66 @@
+"""E1 — Recovery is bounded by R for every fault type.
+
+Paper claim (Definition 3.1): outputs are correct in any interval such that
+no fault manifested within the preceding R. We inject one fault of each
+Byzantine flavour, measure the empirical recovery time, and check the
+verdict of the Definition 3.1 checker at the deployment's promised bound.
+"""
+
+import pytest
+
+from harness import FAULT_AT, one_shot, prepared_btr, single_fault, write_result
+from repro.analysis import btr_verdict, format_table, smallest_sufficient_R
+from repro.sim import to_seconds
+
+FAULT_KINDS = ("commission", "crash", "omission", "timing", "equivocation")
+N_PERIODS = 30
+
+
+def run_experiment():
+    rows = []
+    verdicts = []
+    for kind in FAULT_KINDS:
+        system = prepared_btr(seed=42)
+        result = system.run(N_PERIODS, single_fault(kind))
+        promised = system.budget.total_us
+        empirical = smallest_sufficient_R(result)
+        verdict = btr_verdict(result, R_us=promised)
+        verdicts.append((kind, verdict, empirical, promised))
+        rows.append([
+            kind,
+            f"{to_seconds(empirical):.3f}s",
+            f"{to_seconds(promised):.3f}s",
+            f"{empirical / promised:.0%}" if promised else "-",
+            "yes" if verdict.holds else "NO",
+        ])
+    return rows, verdicts
+
+
+def test_e1_recovery_bound(benchmark):
+    rows, verdicts = one_shot(benchmark, run_experiment)
+    write_result("e1_recovery_bound", format_table(
+        "E1: empirical recovery vs promised bound R, per fault kind "
+        "(industrial workload, 7-node mesh, f=1)",
+        ["fault kind", "empirical recovery", "promised R", "fraction",
+         "Def. 3.1 holds"],
+        rows,
+    ))
+    for kind, verdict, empirical, promised in verdicts:
+        assert verdict.holds, (
+            f"{kind}: BTR violated at R={promised}: "
+            f"{[(v.flow, v.period_index, v.status) for v in verdict.violations[:4]]}"
+        )
+        assert 0 < empirical <= promised, (
+            f"{kind}: recovery {empirical} outside (0, {promised}]"
+        )
+
+
+def test_e1_fault_free_needs_no_recovery(benchmark):
+    def run():
+        system = prepared_btr(seed=42)
+        result = system.run(N_PERIODS)
+        return smallest_sufficient_R(result), btr_verdict(result, R_us=0)
+
+    empirical, verdict = one_shot(benchmark, run)
+    assert empirical == 0
+    assert verdict.holds  # R = 0: classical fault tolerance, trivially met

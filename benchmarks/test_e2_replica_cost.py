@@ -1,0 +1,131 @@
+"""E2 — Detection needs fewer replicas (and resources) than masking.
+
+Paper claim (§1): "BTR can be more efficient than, say, BFT because it
+provides weaker guarantees; for instance, detection requires fewer replicas
+than masking". We compare, on the same substrate and workload:
+
+* replicas per task (structural),
+* total CPU demand of the deployed graph (relative to unreplicated),
+* data-plane traffic actually sent in a fault-free run,
+* the largest workload scale factor each approach can still schedule
+  (binary search on WCET scaling) — the "max admissible workload".
+"""
+
+import pytest
+
+from harness import one_shot, write_result
+from repro import BTRConfig, BTRSystem
+from repro.baselines import BFTSystem, UnreplicatedSystem, ZZSystem
+from repro.analysis import format_table, traffic_bits
+from repro.net import full_mesh_topology
+from repro.workload import DataflowGraph, Task, industrial_workload
+
+N_PERIODS = 20
+F = 1
+
+
+def scaled_workload(scale: float) -> DataflowGraph:
+    base = industrial_workload()
+    tasks = [
+        Task(name=t.name, wcet=max(1, int(t.wcet * scale)),
+             criticality=t.criticality, state_bits=t.state_bits)
+        for t in base.tasks.values()
+    ]
+    return DataflowGraph(period=base.period, tasks=tasks, flows=base.flows,
+                         sources=base.sources, sinks=base.sinks,
+                         name=f"industrial@{scale:.1f}x")
+
+
+def make_system(kind: str, workload):
+    topology = full_mesh_topology(8, bandwidth=1e8)
+    if kind == "btr":
+        system = BTRSystem(workload, topology, BTRConfig(f=F, seed=5))
+    elif kind == "bft":
+        system = BFTSystem(workload, topology, f=F, seed=5)
+    elif kind == "zz":
+        system = ZZSystem(workload, topology, f=F, seed=5)
+    else:
+        system = UnreplicatedSystem(workload, topology, f=F, seed=5)
+    return system
+
+
+def admissible(kind: str, scale: float) -> bool:
+    try:
+        make_system(kind, scaled_workload(scale)).prepare()
+        return True
+    except Exception:
+        return False
+
+
+def max_admissible_scale(kind: str) -> float:
+    low, high = 0.0, 1.0
+    while admissible(kind, high):
+        low, high = high, high * 2
+        if high > 256:
+            return high
+    for _ in range(12):
+        mid = (low + high) / 2
+        if admissible(kind, mid):
+            low = mid
+        else:
+            high = mid
+    return low
+
+
+def deployed_cpu_ratio(kind: str) -> float:
+    workload = industrial_workload()
+    system = make_system(kind, workload)
+    system.prepare()
+    if kind == "btr":
+        graph = system.strategy.nominal.augmented
+    else:
+        graph = system.plan.augmented
+    return graph.total_wcet() / workload.total_wcet()
+
+
+def run_traffic(kind: str) -> int:
+    system = make_system(kind, industrial_workload())
+    system.prepare()
+    result = system.run(N_PERIODS)
+    return traffic_bits(result).get("data", 0)
+
+
+def run_experiment():
+    approaches = ("unreplicated", "zz", "btr", "bft")
+    replicas = {"unreplicated": 1, "zz": F + 1, "btr": F + 1,
+                "bft": 3 * F + 1}
+    data = {}
+    for kind in approaches:
+        data[kind] = {
+            "replicas": replicas[kind],
+            "cpu": deployed_cpu_ratio(kind),
+            "traffic": run_traffic(kind),
+            "max_scale": max_admissible_scale(kind),
+        }
+    return data
+
+
+def test_e2_replica_cost(benchmark):
+    data = one_shot(benchmark, run_experiment)
+    rows = []
+    for kind in ("unreplicated", "zz", "btr", "bft"):
+        d = data[kind]
+        rows.append([
+            kind, f"{d['replicas']} per task", f"{d['cpu']:.2f}x",
+            f"{d['traffic'] / 1e6:.2f} Mbit",
+            f"{d['max_scale']:.1f}x",
+        ])
+    write_result("e2_replica_cost", format_table(
+        f"E2: resource cost of detection (BTR) vs masking (BFT), f={F} "
+        f"(industrial workload, 8-node mesh, 20 periods)",
+        ["approach", "replicas", "CPU demand", "data traffic",
+         "max admissible workload"],
+        rows,
+    ))
+    # The paper's shape: detection strictly cheaper than masking.
+    assert data["btr"]["replicas"] < data["bft"]["replicas"]
+    assert data["btr"]["cpu"] < data["bft"]["cpu"]
+    assert data["btr"]["traffic"] < data["bft"]["traffic"]
+    assert data["btr"]["max_scale"] > data["bft"]["max_scale"]
+    # And everything costs more than no fault tolerance at all.
+    assert data["unreplicated"]["cpu"] <= data["zz"]["cpu"] <= data["bft"]["cpu"]

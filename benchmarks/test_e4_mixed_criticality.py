@@ -1,0 +1,97 @@
+"""E4 — Fine-grained degradation: shed the entertainment, keep the plane.
+
+Paper claim (§1): "when a fault occurs, the system can disable some of the
+less critical tasks and allocate their resources to the more critical ones.
+This is in contrast to many existing fault-tolerance approaches that treat
+the workload as a 'black box'."
+
+Setup: an IFE-heavy avionics workload (four streaming channels) on a 9-node
+mesh with f=2 — provisioned so that everything fits nominally, still fits
+after one fault, but *some* two-fault patterns no longer have the capacity
+for the entertainment system. We steer the pacing adversary into one of
+those patterns and report output survival per criticality level.
+"""
+
+import pytest
+
+from harness import one_shot, write_result
+from repro import BTRConfig, BTRSystem
+from repro.analysis import criticality_survival, format_table
+from repro.faults import FaultScript, Injection, make_behavior
+from repro.net import full_mesh_topology
+from repro.sim import DeterministicRandom
+from repro.workload import Criticality, avionics_workload
+
+N_PERIODS = 80  # 20 ms periods -> 1.6 s
+F = 2
+
+
+def make_system() -> BTRSystem:
+    workload = avionics_workload(n_ife_channels=4, ife_wcet=5000)
+    system = BTRSystem(
+        workload, full_mesh_topology(9, bandwidth=4e8, speed=2.0),
+        BTRConfig(f=F, seed=31),
+    )
+    system.prepare()
+    return system
+
+
+def shedding_pattern(system: BTRSystem):
+    """A two-fault pattern whose plan sheds criticality D."""
+    for pattern in system.strategy.patterns():
+        if len(pattern) != 2:
+            continue
+        plan = system.strategy.plan_for(pattern)
+        if Criticality.D not in plan.kept_levels:
+            return sorted(pattern)
+    raise AssertionError("no two-fault pattern sheds — resize the setup")
+
+
+def run_experiment():
+    probe = make_system()
+    victims = shedding_pattern(probe)
+    results, shed = {}, {}
+    for k in (0, 1, 2):
+        system = make_system()
+        rng = DeterministicRandom(31)
+        script = FaultScript([
+            Injection(200_000 + i * 400_000, victims[i],
+                      make_behavior("commission", rng.fork(f"v{i}")))
+            for i in range(k)
+        ])
+        result = system.run(N_PERIODS, script)
+        results[k] = criticality_survival(result)
+        union = frozenset().union(*result.final_fault_sets.values())
+        final_plan = system.strategy.plan_for(union)
+        shed[k] = sorted(
+            {level.value for level in (set(Criticality.ordered())
+                                       - final_plan.kept_levels)}
+        )
+    return results, shed, victims
+
+
+def test_e4_mixed_criticality(benchmark):
+    results, shed, victims = one_shot(benchmark, run_experiment)
+    levels = ("A", "B", "C", "D")
+    rows = []
+    for k in (0, 1, 2):
+        rows.append(
+            [f"{k} faults"]
+            + [f"{results[k].get(level, 1.0):.3f}" for level in levels]
+            + ["".join(shed[k]) or "(none)"]
+        )
+    write_result("e4_mixed_criticality", format_table(
+        f"E4: output survival by criticality as faults accumulate "
+        f"(IFE-heavy avionics, 9-node mesh, f={F}, victims={victims})",
+        ["scenario", "A", "B", "C", "D", "levels shed by final plan"],
+        rows,
+    ))
+    # Shape: A survives everything; D is the designated sacrifice and is
+    # shed exactly when capacity runs out (two faults).
+    for k in (0, 1, 2):
+        assert results[k]["A"] >= 0.95, f"A degraded with {k} faults"
+    assert results[0]["D"] == 1.0
+    assert shed[0] == [] and shed[1] == []
+    assert "D" in shed[2]
+    assert results[2]["D"] < results[0]["D"]
+    assert results[2]["A"] > results[2]["D"]

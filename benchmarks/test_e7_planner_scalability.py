@@ -1,0 +1,76 @@
+"""E7 — Offline planning cost: strategy size and wall time.
+
+Paper claims (§4.1): the planner computes a plan per anticipated fault
+pattern ("computing a strategy is a bit like building a game tree"), which
+is combinatorial in (nodes, f). Because planning is the one *offline*
+component, Python wall-clock time is a representative relative-cost metric
+here (everything else in the library is measured in simulated time). We
+sweep cluster size and fault budget and report plans computed, planning
+time, and time per plan.
+"""
+
+import time
+
+import pytest
+
+from harness import one_shot, write_result
+from repro import BTRConfig, BTRSystem
+from repro.analysis import format_table
+from repro.faults import strategy_size
+from repro.net import full_mesh_topology
+from repro.workload import industrial_workload
+
+SWEEP = [(6, 1), (8, 1), (10, 1), (12, 1), (8, 2), (10, 2)]
+
+
+def run_experiment():
+    rows = []
+    data = []
+    for n_nodes, f in SWEEP:
+        system = BTRSystem(industrial_workload(),
+                           full_mesh_topology(n_nodes, bandwidth=1e8),
+                           BTRConfig(f=f, seed=3))
+        start = time.perf_counter()
+        system.prepare()
+        elapsed = time.perf_counter() - start
+        n_plans = len(system.strategy)
+        eligible = len(system.strategy.covered_nodes)
+        expected = strategy_size(eligible, f)
+        rows.append([
+            n_nodes, f, eligible, n_plans,
+            f"{elapsed:.2f}s", f"{1000 * elapsed / n_plans:.0f}ms",
+        ])
+        data.append((n_nodes, f, n_plans, expected, elapsed))
+    return rows, data
+
+
+def test_e7_planner_scalability(benchmark):
+    rows, data = one_shot(benchmark, run_experiment)
+    write_result("e7_planner_scalability", format_table(
+        "E7: offline planner cost vs cluster size and fault budget "
+        "(industrial workload, full mesh)",
+        ["nodes", "f", "eligible", "plans", "planning time", "per plan"],
+        rows,
+    ))
+    for n_nodes, f, n_plans, expected, elapsed in data:
+        # A complete strategy: one plan per anticipated pattern.
+        assert n_plans == expected, (n_nodes, f)
+    # Cost grows with the pattern count (the game-tree blow-up is real).
+    by_config = {(n, f): (p, e) for n, f, p, _, e in data}
+    assert by_config[(10, 2)][0] > by_config[(10, 1)][0]
+    assert by_config[(12, 1)][0] > by_config[(6, 1)][0]
+
+
+def test_e7_single_plan_cost(benchmark):
+    """Per-plan cost in isolation (augment + place + synthesize)."""
+    from repro.core.planner import build_plan
+    from repro.net import Router
+
+    workload = industrial_workload()
+    topology = full_mesh_topology(10, bandwidth=1e8)
+    topology.place_endpoints_round_robin(workload.sources, workload.sinks)
+    router = Router(topology)
+
+    plan = benchmark(lambda: build_plan(
+        workload, frozenset(), topology, router, f=1))
+    assert plan.schedule.feasible

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Industrial plant scenario: the pressure vessel and the safety valve.
+
+The paper's case study (§2): "when a sensor indicates a pressure increase
+in some part of the system, the system may need to respond within seconds —
+e.g., by opening a safety valve — to prevent an explosion."
+
+This example works the R := D/f rule end-to-end:
+1. measure the plant's physical tolerance D — how long the vessel survives
+   hostile/absent valve commands (the water-tank model);
+2. budget R := D/f and verify the BTR deployment achieves it;
+3. run a fault and confirm the vessel never leaves its envelope;
+4. contrast with the crash-restart and self-stabilizing baselines, whose
+   recovery bears no relation to D.
+
+Run:  python examples/industrial_plant.py
+"""
+
+from repro import BTRConfig, BTRSystem
+from repro.analysis import (
+    WaterTank,
+    classify_slots,
+    commands_from_slots,
+    format_table,
+    smallest_sufficient_R,
+)
+from repro.baselines import CrashRestartSystem, SelfStabilizingSystem
+from repro.core.runtime.budget import recovery_bound_for_deadline
+from repro.faults import SingleFaultAdversary
+from repro.net import full_mesh_topology
+from repro.sim import to_seconds
+from repro.workload import industrial_workload
+
+F = 1
+FAULT_AT = 220_000
+N_PERIODS = 120  # 6 s: long enough to exhaust the vessel's capacity
+
+def make_tank():
+    # A tighter vessel than the library default: the safety margin above
+    # the setpoint is 0.2 level units, i.e. D = 4 s of valve outage.
+    return WaterTank(level_max=0.7)
+
+
+def valve_commands(result):
+    slots = [s for s in classify_slots(result, R_us=0)
+             if s.flow == "valve_cmd"]
+    slots.sort(key=lambda s: s.period_index)
+    return commands_from_slots([s.status for s in slots])
+
+
+def main() -> None:
+    workload = industrial_workload()  # period = 50 ms
+    dt = to_seconds(workload.period)
+
+    # 1. The physics: how long can valve control be wrong before the
+    #    vessel leaves its envelope?
+    tolerable_periods = make_tank().max_tolerable_outage(dt)
+    deadline_us = tolerable_periods * workload.period
+    print(f"vessel tolerates {tolerable_periods} bad control periods "
+          f"(D = {to_seconds(deadline_us):.2f}s of its thermal/volume "
+          f"capacity)")
+
+    # 2. The paper's budgeting rule: an adversary with f nodes can force
+    #    f sequential recoveries, so R must be D/f.
+    r_budget = recovery_bound_for_deadline(deadline_us, F)
+    print(f"R := D/f = {to_seconds(r_budget):.2f}s  (f = {F})")
+
+    topology = full_mesh_topology(7, bandwidth=1e8)
+    system = BTRSystem(workload, topology,
+                       BTRConfig(f=F, R_us=r_budget, seed=21))
+    budget = system.prepare()  # raises if R were not achievable
+    print(f"deployment promises R = {to_seconds(budget.total_us):.3f}s "
+          f"<= {to_seconds(r_budget):.2f}s  OK")
+
+    # 3. Run through a Byzantine fault on the node hosting the plant
+    #    controller's primary replica, and drive the plant from the actual
+    #    valve-command stream.
+    victim = system.strategy.nominal.assignment["plant_ctrl#r0"]
+    adversary = SingleFaultAdversary(at=FAULT_AT, kind="commission",
+                                     node=victim)
+    result = system.run(n_periods=N_PERIODS, adversary=adversary)
+    tank = make_tank()
+    safe = tank.run_sequence(dt, valve_commands(result))
+    print(f"\nBTR run: {result.summary()}")
+    print(f"empirical recovery: "
+          f"{to_seconds(smallest_sufficient_R(result)):.3f}s")
+    print(f"vessel stayed in envelope: {safe}")
+
+    # 4. Baselines on the same fault.
+    rows = [["btr", f"{to_seconds(smallest_sufficient_R(result)):.2f}s",
+             str(safe)]]
+    for cls, kwargs in ((CrashRestartSystem, {}),
+                        (SelfStabilizingSystem, {"reset_every": 12})):
+        baseline = cls(workload, full_mesh_topology(7, bandwidth=1e8),
+                       f=F, seed=21, **kwargs)
+        baseline.prepare()
+        base_victim = baseline.plan.assignment["plant_ctrl"]
+        base_result = baseline.run(
+            N_PERIODS, SingleFaultAdversary(at=FAULT_AT, kind="commission",
+                                            node=base_victim))
+        base_safe = make_tank().run_sequence(dt, valve_commands(base_result))
+        recovery = smallest_sufficient_R(base_result, excused_flows={})
+        never = recovery >= (N_PERIODS - 1) * workload.period - FAULT_AT
+        rows.append([
+            baseline.name,
+            "never" if never else f"{to_seconds(recovery):.2f}s",
+            str(base_safe),
+        ])
+    print(format_table(
+        "Commission fault at t=0.22s: recovery and plant safety",
+        ["system", "recovery", "vessel safe"], rows,
+    ))
+    print("Crash-restart and self-stabilization cannot see a lying node, "
+          "so the vessel is eventually driven out of its envelope; BTR's "
+          "bounded recovery keeps the outage under the physics' D.")
+
+
+if __name__ == "__main__":
+    main()

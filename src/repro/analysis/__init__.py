@@ -1,0 +1,72 @@
+"""Analysis layer: correctness (Def. 3.1), plants, metrics, reporting."""
+
+from .correctness import (
+    BTRVerdict,
+    CORRECT,
+    LATE,
+    MISSING,
+    SlotVerdict,
+    WRONG_VALUE,
+    btr_verdict,
+    classify_slots,
+    recovery_times,
+    smallest_sufficient_R,
+)
+from .metrics import (
+    LatencyBreakdown,
+    TimelinessReport,
+    criticality_survival,
+    latency_breakdown,
+    replica_count,
+    timeliness,
+    traffic_bits,
+)
+from .oracle import ReferenceOracle
+from .plants import (
+    CORRECT_CMD,
+    HOSTILE_CMD,
+    STALE_CMD,
+    InvertedPendulum,
+    PitchAxis,
+    Plant,
+    WaterTank,
+    commands_from_slots,
+)
+from .reporting import format_series, format_table, ratio, us_to_ms
+from .timeline import TimelineEntry, build_timeline, render_timeline
+
+__all__ = [
+    "BTRVerdict",
+    "CORRECT",
+    "LATE",
+    "MISSING",
+    "SlotVerdict",
+    "WRONG_VALUE",
+    "btr_verdict",
+    "classify_slots",
+    "recovery_times",
+    "smallest_sufficient_R",
+    "LatencyBreakdown",
+    "TimelinessReport",
+    "criticality_survival",
+    "latency_breakdown",
+    "replica_count",
+    "timeliness",
+    "traffic_bits",
+    "ReferenceOracle",
+    "CORRECT_CMD",
+    "HOSTILE_CMD",
+    "STALE_CMD",
+    "InvertedPendulum",
+    "PitchAxis",
+    "Plant",
+    "WaterTank",
+    "commands_from_slots",
+    "TimelineEntry",
+    "build_timeline",
+    "render_timeline",
+    "format_series",
+    "format_table",
+    "ratio",
+    "us_to_ms",
+]

@@ -1,0 +1,145 @@
+"""Run metrics: timeliness, cost, criticality survival, latency breakdown."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.runtime.system import RunResult
+from ..sim.trace import (
+    EvidenceAccepted,
+    EvidenceGenerated,
+    MessageSent,
+    ModeSwitchCompleted,
+)
+from ..workload.criticality import Criticality
+from .correctness import CORRECT, classify_slots
+
+
+@dataclass(frozen=True)
+class TimelinessReport:
+    """Output timeliness over one run."""
+
+    total_slots: int
+    delivered: int
+    on_time: int
+    mean_latency_us: float
+    p99_latency_us: int
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of expected slots not delivered on time."""
+        if self.total_slots == 0:
+            return 0.0
+        return 1.0 - self.on_time / self.total_slots
+
+
+def timeliness(result: RunResult) -> TimelinessReport:
+    workload = result.workload
+    expected = len(workload.sink_flows()) * result.n_periods
+    latencies: List[int] = []
+    on_time = 0
+    seen = set()
+    for output in result.outputs():
+        key = (output.flow, output.period_index)
+        if key in seen:
+            continue
+        seen.add(key)
+        release = output.period_index * workload.period
+        latencies.append(output.time - release)
+        if output.time <= output.deadline:
+            on_time += 1
+    latencies.sort()
+    mean = sum(latencies) / len(latencies) if latencies else 0.0
+    p99 = latencies[int(0.99 * (len(latencies) - 1))] if latencies else 0
+    return TimelinessReport(
+        total_slots=expected, delivered=len(seen), on_time=on_time,
+        mean_latency_us=mean, p99_latency_us=p99,
+    )
+
+
+def traffic_bits(result: RunResult) -> Dict[str, int]:
+    """Bits put on links per traffic class."""
+    totals: Dict[str, int] = {}
+    for event in result.trace.of_kind(MessageSent):
+        totals[event.kind] = totals.get(event.kind, 0) + event.size_bits
+    return totals
+
+
+def criticality_survival(result: RunResult) -> Dict[str, float]:
+    """Per criticality level: fraction of slots correct (value + time).
+
+    This is the E4 metric: as faults accumulate, level A should stay at
+    1.0 while D degrades first.
+    """
+    slots = classify_slots(result, R_us=0)
+    by_level: Dict[str, List[bool]] = {}
+    for slot in slots:
+        by_level.setdefault(slot.criticality, []).append(
+            slot.status == CORRECT)
+    return {
+        level: sum(oks) / len(oks)
+        for level, oks in sorted(by_level.items())
+    }
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """E6: where the recovery time goes, for the first fault of a run."""
+
+    fault_time: int
+    detection_us: Optional[int]       # fault -> first evidence generated
+    distribution_us: Optional[int]    # first generated -> last node accepted
+    switch_us: Optional[int]          # last accepted -> last mode switch
+
+    @property
+    def total_us(self) -> Optional[int]:
+        parts = [self.detection_us, self.distribution_us, self.switch_us]
+        if any(p is None for p in parts):
+            return None
+        return sum(parts)
+
+
+def latency_breakdown(result: RunResult) -> Optional[LatencyBreakdown]:
+    faults = sorted(result.fault_times().items(), key=lambda kv: kv[1])
+    if not faults:
+        return None
+    fault_node, fault_time = faults[0]
+    generated = [e for e in result.trace.of_kind(EvidenceGenerated)
+                 if e.accused_node == fault_node and e.time >= fault_time]
+    if not generated:
+        return LatencyBreakdown(fault_time, None, None, None)
+    first_gen = generated[0].time
+    # Distribution ends when the *last* node learns of the fault — each
+    # node's FIRST acceptance counts (duplicate records keep trickling in
+    # long after the switch and must not pollute the measurement).
+    first_accept_per_node: Dict[str, int] = {}
+    for e in result.trace.of_kind(EvidenceAccepted):
+        if e.accused_node == fault_node:
+            first_accept_per_node.setdefault(e.node, e.time)
+    all_informed = max(first_accept_per_node.values(), default=None)
+    switches = [e for e in result.trace.of_kind(ModeSwitchCompleted)
+                if e.time >= first_gen]
+    first_switch_per_node: Dict[str, int] = {}
+    for e in switches:
+        first_switch_per_node.setdefault(e.node, e.time)
+    last_switch = max(first_switch_per_node.values(), default=None)
+    return LatencyBreakdown(
+        fault_time=fault_time,
+        detection_us=first_gen - fault_time,
+        distribution_us=(all_informed - first_gen
+                         if all_informed is not None else None),
+        switch_us=(max(0, last_switch - all_informed)
+                   if all_informed is not None and last_switch is not None
+                   else None),
+    )
+
+
+def replica_count(system_kind: str, f: int) -> int:
+    """Replicas per task for each approach (the E2 headline table)."""
+    return {
+        "unreplicated": 1,
+        "btr": f + 1,          # + a checker, counted separately
+        "zz": f + 1,
+        "bft": 3 * f + 1,
+    }[system_kind]

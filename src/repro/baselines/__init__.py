@@ -1,0 +1,21 @@
+"""Baseline fault-tolerance systems on the same substrate as BTR."""
+
+from .base import BaselineAgent, BaselinePlan, BaselineSystem
+from .bft import BFTSystem, bft_augment, majority
+from .crash_restart import CrashRestartSystem
+from .selfstab import SelfStabilizingSystem
+from .unreplicated import UnreplicatedSystem
+from .zz import ZZSystem
+
+__all__ = [
+    "BaselineAgent",
+    "BaselinePlan",
+    "BaselineSystem",
+    "BFTSystem",
+    "bft_augment",
+    "majority",
+    "CrashRestartSystem",
+    "SelfStabilizingSystem",
+    "UnreplicatedSystem",
+    "ZZSystem",
+]

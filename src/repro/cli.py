@@ -1,0 +1,273 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands:
+
+``plan``
+    Run the offline planner and print the strategy: one row per fault
+    pattern with its kept criticality levels and shed tasks, plus the
+    achievable recovery budget.
+
+``run``
+    Execute a deployment, optionally under a fault, and print the
+    Definition 3.1 verdict, recovery time, and timeliness report.
+
+``compare``
+    Run BTR and every baseline through the same fault and print the
+    comparison table (recovery, output correctness, traffic).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from . import BTRConfig, BTRSystem
+from .analysis import (
+    btr_verdict,
+    format_table,
+    smallest_sufficient_R,
+    timeliness,
+    traffic_bits,
+)
+from .baselines import (
+    BFTSystem,
+    CrashRestartSystem,
+    SelfStabilizingSystem,
+    UnreplicatedSystem,
+    ZZSystem,
+)
+from .faults import BEHAVIOR_FACTORIES, SingleFaultAdversary
+from .net import (
+    bus_topology,
+    dual_star_topology,
+    full_mesh_topology,
+    line_topology,
+    mesh_topology,
+    ring_topology,
+    star_topology,
+)
+from .sim import seconds, to_seconds
+from .workload import (
+    automotive_workload,
+    avionics_workload,
+    industrial_workload,
+    pipeline_workload,
+    power_grid_workload,
+)
+
+WORKLOADS: Dict[str, Callable] = {
+    "industrial": industrial_workload,
+    "avionics": avionics_workload,
+    "automotive": automotive_workload,
+    "pipeline": pipeline_workload,
+    "power_grid": power_grid_workload,
+}
+
+BASELINES = {
+    "unreplicated": UnreplicatedSystem,
+    "bft": BFTSystem,
+    "zz": ZZSystem,
+    "selfstab": SelfStabilizingSystem,
+    "crash_restart": CrashRestartSystem,
+}
+
+
+def make_topology(spec: str, bandwidth: float):
+    """Parse a topology spec like ``fullmesh:7``, ``mesh:3x3``, ``ring:6``."""
+    kind, _, arg = spec.partition(":")
+    builders = {
+        "fullmesh": lambda a: full_mesh_topology(int(a), bandwidth=bandwidth),
+        "ring": lambda a: ring_topology(int(a), bandwidth=bandwidth),
+        "line": lambda a: line_topology(int(a), bandwidth=bandwidth),
+        "star": lambda a: star_topology(int(a), bandwidth=bandwidth),
+        "bus": lambda a: bus_topology(int(a), bandwidth=bandwidth),
+        "dualstar": lambda a: dual_star_topology(int(a),
+                                                 bandwidth=bandwidth),
+        "mesh": lambda a: mesh_topology(*map(int, a.split("x")),
+                                        bandwidth=bandwidth),
+    }
+    try:
+        return builders[kind](arg or "7")
+    except KeyError:
+        raise SystemExit(
+            f"unknown topology {kind!r}; choose from "
+            f"{', '.join(sorted(builders))}"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bounded-time recovery (BTR) for cyber-physical "
+                    "systems — HotOS XV reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--workload", choices=sorted(WORKLOADS),
+                       default="industrial")
+        p.add_argument("--topology", default="fullmesh:7",
+                       help="e.g. fullmesh:7, ring:6, mesh:3x3")
+        p.add_argument("--bandwidth", type=float, default=1e8,
+                       help="raw link bandwidth in bit/s")
+        p.add_argument("--f", type=int, default=1, dest="f",
+                       help="fault budget")
+        p.add_argument("--seed", type=int, default=42)
+
+    plan = sub.add_parser("plan", help="run the offline planner")
+    common(plan)
+    plan.add_argument("--export", metavar="FILE", default=None,
+                      help="write the strategy (the per-node artifact) "
+                           "as JSON")
+
+    run = sub.add_parser("run", help="run a deployment")
+    common(run)
+    run.add_argument("--periods", type=int, default=30)
+    run.add_argument("--fault", choices=sorted(BEHAVIOR_FACTORIES),
+                     default=None, help="inject one fault of this kind")
+    run.add_argument("--fault-at", type=float, default=0.22,
+                     help="fault injection time in seconds")
+    run.add_argument("--timeline", action="store_true",
+                     help="print the incident timeline")
+    run.add_argument("--scenario", default=None,
+                     help="stage a named scenario (see repro.faults."
+                          "scenarios) instead of --fault")
+
+    compare = sub.add_parser("compare",
+                             help="BTR vs baselines through one fault")
+    common(compare)
+    compare.add_argument("--periods", type=int, default=30)
+    compare.add_argument("--fault", choices=sorted(BEHAVIOR_FACTORIES),
+                         default="commission")
+    compare.add_argument("--fault-at", type=float, default=0.22)
+    return parser
+
+
+def cmd_plan(args) -> int:
+    workload = WORKLOADS[args.workload]()
+    topology = make_topology(args.topology, args.bandwidth)
+    system = BTRSystem(workload, topology,
+                       BTRConfig(f=args.f, seed=args.seed))
+    budget = system.prepare()
+    rows = []
+    for pattern in system.strategy.patterns():
+        plan = system.strategy.plan_for(pattern)
+        shed = plan.shed_tasks(workload)
+        rows.append([
+            plan.mode,
+            "".join(sorted(l.value for l in plan.kept_levels)),
+            f"{plan.schedule.makespan() / 1000:.1f}ms",
+            ", ".join(shed) if shed else "-",
+        ])
+    print(format_table(
+        f"Strategy: {len(system.strategy)} plans "
+        f"({args.workload} on {args.topology}, f={args.f})",
+        ["mode", "kept", "makespan", "shed tasks"], rows,
+    ))
+    print(f"recovery budget: {to_seconds(budget.total_us):.3f}s "
+          f"(detection {to_seconds(budget.detection_us):.3f}s, "
+          f"distribution {to_seconds(budget.distribution_us):.3f}s, "
+          f"switch {to_seconds(budget.switch_us):.3f}s, "
+          f"settling {to_seconds(budget.settling_us):.3f}s)")
+    if args.export:
+        from .core.planner import strategy_to_json
+        with open(args.export, "w") as f:
+            f.write(strategy_to_json(system.strategy, indent=2))
+        print(f"strategy written to {args.export}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    workload = WORKLOADS[args.workload]()
+    topology = make_topology(args.topology, args.bandwidth)
+    system = BTRSystem(workload, topology,
+                       BTRConfig(f=args.f, seed=args.seed))
+    budget = system.prepare()
+    adversary = None
+    link_script = None
+    if args.scenario:
+        from .faults import stage
+        scenario = stage(args.scenario, system)
+        print(f"scenario: {scenario.name} - {scenario.description}")
+        adversary = scenario.script
+        link_script = scenario.link_script or None
+    elif args.fault:
+        adversary = SingleFaultAdversary(at=seconds(args.fault_at),
+                                         kind=args.fault)
+    result = system.run(n_periods=args.periods, adversary=adversary,
+                        link_script=link_script)
+    print(result.summary())
+    verdict = btr_verdict(result, R_us=budget.total_us)
+    report = timeliness(result)
+    print(f"Definition 3.1 holds at R={to_seconds(budget.total_us):.3f}s: "
+          f"{verdict.holds}")
+    print(f"empirical recovery: "
+          f"{to_seconds(smallest_sufficient_R(result)):.3f}s")
+    print(f"timeliness: {report.on_time}/{report.total_slots} on time "
+          f"({report.miss_rate:.1%} missed)")
+    if args.timeline:
+        from .analysis import render_timeline
+        print("\nincident timeline:")
+        print(render_timeline(result))
+    return 0 if verdict.holds else 1
+
+
+def cmd_compare(args) -> int:
+    fault_at = seconds(args.fault_at)
+    rows = []
+
+    workload = WORKLOADS[args.workload]()
+    topology = make_topology(args.topology, args.bandwidth)
+    system = BTRSystem(workload, topology,
+                       BTRConfig(f=args.f, seed=args.seed))
+    system.prepare()
+    result = system.run(args.periods,
+                        SingleFaultAdversary(at=fault_at, kind=args.fault))
+    rows.append(_compare_row("btr", result, args))
+
+    for name, cls in BASELINES.items():
+        workload = WORKLOADS[args.workload]()
+        topology = make_topology(args.topology, args.bandwidth)
+        baseline = cls(workload, topology, f=args.f, seed=args.seed)
+        baseline.prepare()
+        result = baseline.run(
+            args.periods,
+            SingleFaultAdversary(at=fault_at, kind=args.fault))
+        rows.append(_compare_row(name, result, args))
+
+    print(format_table(
+        f"One {args.fault} fault at t={args.fault_at}s "
+        f"({args.workload} on {args.topology}, f={args.f})",
+        ["system", "recovery", "on-time outputs", "data traffic"],
+        rows,
+    ))
+    return 0
+
+
+def _compare_row(name: str, result, args) -> List[str]:
+    recovery = smallest_sufficient_R(result, excused_flows={})
+    horizon = (args.periods - 1) * result.workload.period
+    never = recovery >= horizon - seconds(args.fault_at)
+    report = timeliness(result)
+    data_bits = traffic_bits(result).get("data", 0)
+    return [
+        name,
+        "never" if never else f"{to_seconds(recovery):.3f}s",
+        f"{report.on_time}/{report.total_slots}",
+        f"{data_bits / 1e6:.2f} Mbit",
+    ]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "plan": cmd_plan,
+        "run": cmd_run,
+        "compare": cmd_compare,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

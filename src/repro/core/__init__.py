@@ -1,0 +1,5 @@
+"""BTR core: planner, detector, evidence, modes, runtime (§4 of the paper)."""
+
+from .runtime import BTRConfig, BTRSystem, RecoveryBudget, RunResult
+
+__all__ = ["BTRConfig", "BTRSystem", "RecoveryBudget", "RunResult"]

@@ -1,0 +1,180 @@
+"""Checking-task logic: replica output comparison (§4.1–4.2).
+
+A checking task runs once per period, right after its task's replicas. Its
+decision procedure, given the replica output statements that arrived and its
+own copy of the task's inputs:
+
+1. **Fast path** — forward the primary's value immediately (or the lowest-
+   index replica present if the primary's output is missing). This is the
+   paper's "BTR can use the output of some replicas without waiting for the
+   others to complete": forwarding never waits on detection.
+2. **Compare** — if any two present outputs disagree, re-execute the task
+   from the checker's own inputs (reference value), and accuse every
+   replica whose output is wrong *and* whose attested input digest matches
+   the checker's inputs (commission evidence).
+3. **Investigate** — replicas whose input digest differs from the
+   checker's were fed different inputs: either they lie, or the upstream
+   equivocated. The checker requests their stored upstream statements; two
+   contradictory signed statements yield equivocation evidence.
+4. **Declare** — replicas whose outputs never arrived produce path-problem
+   declarations (the omission route, §4.2).
+
+This module is pure logic over statements; the runtime supplies the
+statements and executes the resulting actions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...crypto.authenticator import AuthenticatedStatement
+from ...workload.task import compute_output
+from ..evidence.records import input_digest
+
+
+@dataclass
+class CheckOutcome:
+    """What the checker decided for one (task, period)."""
+
+    #: Value to forward downstream (None => nothing arrived; omission).
+    forward_value: Optional[int]
+    #: Replica instance whose value is forwarded.
+    forward_source: Optional[str]
+    #: Replica instances convicted of commission (evidence can be built
+    #: from their statement + the checker's inputs).
+    convicted: List[str] = field(default_factory=list)
+    #: Replica instances whose input digests mismatch: run the
+    #: equivocation-investigation protocol against their upstream.
+    investigate: List[str] = field(default_factory=list)
+    #: Replica instances whose outputs are missing entirely.
+    missing: List[str] = field(default_factory=list)
+    #: Reference value if a re-execution happened (diagnostics).
+    reference: Optional[int] = None
+    #: True when a disagreement forced a re-execution.
+    recomputed: bool = False
+
+
+def run_check(
+    task: str,
+    period: int,
+    expected_replicas: List[str],
+    replica_statements: Dict[str, AuthenticatedStatement],
+    own_input_values: Optional[List[int]],
+) -> CheckOutcome:
+    """Execute the checker decision procedure. See module docstring.
+
+    ``own_input_values`` is None when the checker's own input copies have
+    not all arrived (then disagreement can be detected but not localized).
+    """
+    present = [r for r in expected_replicas if r in replica_statements]
+    missing = [r for r in expected_replicas if r not in replica_statements]
+
+    if not present:
+        return CheckOutcome(forward_value=None, forward_source=None,
+                            missing=missing)
+
+    primary = expected_replicas[0]
+    source = primary if primary in replica_statements else present[0]
+    forward_value = replica_statements[source].statement.get("value")
+
+    values = {
+        r: replica_statements[r].statement.get("value") for r in present
+    }
+    outcome = CheckOutcome(
+        forward_value=forward_value, forward_source=source, missing=missing,
+    )
+    disagreement = len(set(values.values())) > 1
+
+    if own_input_values is None:
+        if disagreement:
+            # Cannot localize without inputs; investigate everyone who
+            # disagrees with the forwarded value.
+            outcome.investigate = [r for r in present
+                                   if values[r] != forward_value]
+        return outcome
+
+    # Digest audit runs every period — it is a cheap comparison and it is
+    # the only defence when an equivocating upstream fed *all* replicas the
+    # same wrong inputs (they agree with each other, but not with the
+    # checker's own copy).
+    own_digest = input_digest(own_input_values)
+    mismatched = [
+        r for r in present
+        if replica_statements[r].statement.get("input_digest") != own_digest
+    ]
+    outcome.investigate.extend(mismatched)
+
+    if not disagreement:
+        return outcome
+
+    reference = compute_output(task, period, own_input_values)
+    outcome.reference = reference
+    outcome.recomputed = True
+    for replica in present:
+        if values[replica] == reference or replica in mismatched:
+            continue
+        # Same inputs, wrong output: provable commission.
+        outcome.convicted.append(replica)
+    return outcome
+
+
+def audit_forward(
+    fwd_statement: AuthenticatedStatement,
+    audit_statements: Dict[str, AuthenticatedStatement],
+    expected_replicas: List[str],
+) -> bool:
+    """True iff the forwarded value provably mismatches the replica set.
+
+    The downstream checker holds the upstream checker's forwarded statement
+    and the upstream replicas' audit copies. If *all* replicas reported and
+    the forwarded value equals none of them, the forwarder corrupted the
+    value (forward-mismatch evidence can be assembled from exactly these
+    statements). With replicas missing we stay silent — omission handling
+    covers those.
+    """
+    if set(audit_statements) != set(expected_replicas):
+        return False
+    replica_values = {
+        s.statement.get("value") for s in audit_statements.values()
+    }
+    return fwd_statement.statement.get("value") not in replica_values
+
+
+def build_output_statement(task: str, instance: str, period: int,
+                           value: int, input_values: List[int],
+                           send_offset: int) -> dict:
+    """The payload a replica signs when reporting its output."""
+    return {
+        "type": "output",
+        "task": task,
+        "instance": instance,
+        "period": period,
+        "value": value,
+        "input_digest": input_digest(input_values),
+        "send_offset": send_offset,
+    }
+
+
+def build_forward_statement(flow: str, period: int, value: int,
+                            send_offset: int,
+                            reconstructed: bool = False) -> dict:
+    """The payload a checker (or source host) signs when forwarding the
+    agreed value over a dataflow edge.
+
+    ``reconstructed`` marks values the checker re-derived from audit
+    copies because its own replicas were starved by an upstream outage —
+    a signed admission that this stage's replicas produced nothing, which
+    tells downstream omission detectors not to blame those replicas'
+    hosts.
+    """
+    payload = {
+        "type": "fwd",
+        "flow": flow,
+        "period": period,
+        "value": value,
+        "send_offset": send_offset,
+    }
+    if reconstructed:
+        payload["reconstructed"] = True
+    return payload

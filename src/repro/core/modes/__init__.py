@@ -1,0 +1,21 @@
+"""Mode changes (§4.4): fault sets, switch decisions, transitions."""
+
+from .faultset import FaultSet
+from .switcher import ModeSwitcher, PendingSwitch, switch_boundary
+from .transition import (
+    NodeTransition,
+    StateFetch,
+    compute_transition,
+    state_source,
+)
+
+__all__ = [
+    "FaultSet",
+    "ModeSwitcher",
+    "PendingSwitch",
+    "switch_boundary",
+    "NodeTransition",
+    "StateFetch",
+    "compute_transition",
+    "state_source",
+]

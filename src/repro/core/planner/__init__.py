@@ -1,0 +1,41 @@
+"""The offline planner (§4.1): augmentation, placement, plans, strategies."""
+
+from . import naming
+from .augment import AugmentConfig, augment, replication_overhead
+from .distance import PlanDistance, plan_distance
+from .placement import PlacementConfig, PlacementError, node_exposure, place
+from .plan import Plan, PlanningError, build_plan
+from .serialize import (
+    plan_from_dict,
+    plan_to_dict,
+    strategy_from_dict,
+    strategy_from_json,
+    strategy_to_dict,
+    strategy_to_json,
+)
+from .strategy import Strategy, StrategyConfig, build_strategy
+
+__all__ = [
+    "naming",
+    "AugmentConfig",
+    "augment",
+    "replication_overhead",
+    "PlanDistance",
+    "plan_distance",
+    "PlacementConfig",
+    "PlacementError",
+    "node_exposure",
+    "place",
+    "Plan",
+    "PlanningError",
+    "build_plan",
+    "plan_from_dict",
+    "plan_to_dict",
+    "strategy_from_dict",
+    "strategy_from_json",
+    "strategy_to_dict",
+    "strategy_to_json",
+    "Strategy",
+    "StrategyConfig",
+    "build_strategy",
+]

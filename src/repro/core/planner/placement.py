@@ -1,0 +1,174 @@
+"""Task-instance placement: hard constraints plus the paper's heuristics.
+
+§4.1: "Each task is mapped to a node; this involves some 'hard' constraints
+— for instance, no two replicas of the same task can run on the same node —
+but also some heuristics: for instance, putting replicas close to each other
+may save bandwidth, and putting checking tasks close to replicas can make it
+easier to detect omission faults."
+
+The placer is a deterministic greedy scorer. Instances are placed base-task
+by base-task in topological order (inputs are already placed, so locality is
+computable). Candidates are scored by::
+
+    score = w_load * projected_load
+          + w_locality * mean_hops_to_input_producers
+          + w_distance * migration_cost_from_parent_plan
+
+Hard constraints: instances of the same base task pairwise on distinct
+nodes; no instance on a node in the mode's fault pattern. Lower score wins;
+ties break on node name, so placement is reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ...net.routing import Router, RoutingError
+from ...net.topology import Topology
+from ...workload.dataflow import DataflowGraph
+from . import naming
+
+
+class PlacementError(Exception):
+    """Raised when hard constraints cannot be satisfied."""
+
+
+@dataclass(frozen=True)
+class PlacementConfig:
+    """Scoring weights and toggles (the E11/E12/E13 ablations flip them)."""
+
+    w_load: float = 1.0
+    w_locality: float = 0.15
+    w_distance: float = 0.3
+    w_exposure: float = 0.3
+    #: Disable the locality heuristic (ablation E12).
+    use_locality: bool = True
+    #: Disable parent-plan distance minimisation (ablation E11).
+    use_distance: bool = True
+    #: Disable the strategic exposure term (ablation E13). The paper's
+    #: chess analogy (§4.1): a plan that parks a big-state task on a node
+    #: whose only high-bandwidth connection runs via Y makes the later
+    #: plan for {…, Y} expensive — state would have to leave over a thin
+    #: link. The exposure term penalizes placing state on nodes whose
+    #: connectivity collapses when their best-connected neighbour fails.
+    use_exposure: bool = True
+
+
+def node_exposure(topology: Topology, node_id: str) -> float:
+    """How much a node's bandwidth collapses if its fattest link is lost.
+
+    Returns best_bandwidth / second_best_bandwidth over the node's
+    attached links (a large value for single-homed or thin-backup nodes,
+    ~1.0 for well-connected ones). This is the static proxy for the
+    game-tree lookahead the paper suggests.
+    """
+    rates = sorted(
+        (link.bandwidth_bps for link in topology.nodes[node_id].links.values()),
+        reverse=True,
+    )
+    if not rates:
+        return float("inf")
+    if len(rates) == 1:
+        return 100.0  # single-homed: losing the neighbour strands it
+    return rates[0] / rates[1]
+
+
+def place(
+    augmented: DataflowGraph,
+    topology: Topology,
+    router: Router,
+    excluding: Set[str],
+    config: Optional[PlacementConfig] = None,
+    parent_assignment: Optional[Dict[str, str]] = None,
+) -> Dict[str, str]:
+    """Assign every instance in ``augmented`` to a node. See module doc.
+
+    ``parent_assignment`` is the parent mode's assignment; keeping instances
+    where the parent put them avoids state migration ("B must obviously
+    reassign the tasks that were running on X, but it should otherwise
+    change as little as possible").
+    """
+    config = config or PlacementConfig()
+    eligible = [n for n in sorted(topology.nodes) if n not in excluding]
+    if not eligible:
+        raise PlacementError("no eligible nodes")
+
+    # Group instances by base task so the anti-affinity constraint is local.
+    groups: Dict[str, List[str]] = {}
+    for instance in augmented.tasks:
+        groups.setdefault(naming.base_task(instance), []).append(instance)
+    for members in groups.values():
+        if len(members) > len(eligible):
+            raise PlacementError(
+                f"{len(members)} instances of one task but only "
+                f"{len(eligible)} eligible nodes"
+            )
+
+    assignment: Dict[str, str] = {}
+    load: Dict[str, int] = {n: 0 for n in eligible}  # nominal µs per period
+
+    def producer_node(endpoint: str) -> Optional[str]:
+        if endpoint in assignment:
+            return assignment[endpoint]
+        if endpoint in topology.endpoint_map:
+            return topology.endpoint_map[endpoint]
+        return None
+
+    def locality(instance: str, node: str) -> float:
+        producers = [
+            producer_node(f.src) for f in augmented.inputs_of(instance)
+        ]
+        known = [p for p in producers if p is not None]
+        if not known:
+            return 0.0
+        hops = []
+        for p in known:
+            try:
+                hops.append(router.hop_count(p, node, excluding))
+            except RoutingError:
+                hops.append(len(topology.nodes))  # effectively unreachable
+        return sum(hops) / len(hops)
+
+    capacity_us = augmented.period
+    exposure = {n: node_exposure(topology, n) for n in eligible}
+
+    def score(instance: str, node: str, wcet: int, state_bits: int) -> float:
+        fg_speed = topology.nodes[node].lanes["fg"].speed
+        projected = (load[node] + wcet) / max(fg_speed, 1e-9) / capacity_us
+        value = config.w_load * projected
+        if config.use_locality:
+            value += config.w_locality * locality(instance, node)
+        if config.use_distance and parent_assignment is not None:
+            parent_node = parent_assignment.get(instance)
+            if parent_node is not None and parent_node != node:
+                # Moving costs (normalised) state transfer.
+                value += config.w_distance * (1.0 + state_bits / 65536.0)
+        if config.use_exposure:
+            collapse = min(exposure[node] - 1.0, 10.0)
+            if collapse > 0:
+                # Stateful instances risk migrating over the thin fallback;
+                # even stateless ones push data-plane flows over it once
+                # the fat uplink's neighbour fails.
+                value += (config.w_exposure * collapse
+                          * (0.2 + state_bits / 65536.0))
+        return value
+
+    # Base tasks in topological order of the *original* graph structure so
+    # input producers are placed before consumers. The augmented graph's own
+    # topological order gives exactly this (replicas before checkers, etc.).
+    for instance in augmented.topological_order():
+        task = augmented.tasks[instance]
+        group = naming.base_task(instance)
+        taken = {assignment[m] for m in groups[group] if m in assignment}
+        candidates = [n for n in eligible if n not in taken]
+        if not candidates:
+            raise PlacementError(f"no node left for {instance}")
+        best = min(
+            candidates,
+            key=lambda n: (score(instance, n, task.wcet, task.state_bits), n),
+        )
+        assignment[instance] = best
+        load[best] += task.wcet
+
+    return assignment

@@ -1,0 +1,158 @@
+"""Plans: one mode's complete prescription.
+
+§4: "a plan ... is basically a distributed schedule: it maps the tasks from
+the workload (and some additional tasks, such as replicas) to specific
+nodes, and it prescribes a schedule for each of the nodes."
+
+A :class:`Plan` bundles, for one fault pattern:
+
+* the (possibly shed) workload in force and which criticality levels it
+  keeps;
+* the augmented instance graph and the instance→node assignment;
+* the synthesized :class:`~repro.sched.synthesis.GlobalSchedule`;
+* derived runtime info: per-flow routes and planned arrival times, which
+  the dispatcher and the timing-fault detector both consult.
+
+:func:`build_plan` walks the criticality shedding ladder until a rung is
+schedulable (the paper: "the planner removes some of the less critical
+tasks and retries").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from ...faults.patterns import FaultPattern, mode_id
+from ...net.routing import Router
+from ...net.topology import Topology
+from ...sched.lanes import LaneModel
+from ...sched.mixed_criticality import shedding_ladder
+from ...sched.synthesis import GlobalSchedule, synthesize
+from ...workload.criticality import Criticality
+from ...workload.dataflow import DataflowGraph
+from . import naming
+from .augment import AugmentConfig, augment
+from .placement import PlacementConfig, PlacementError, place
+
+
+class PlanningError(Exception):
+    """Raised when no schedulable plan exists even after full shedding."""
+
+
+@dataclass
+class Plan:
+    """One mode's full prescription. Immutable once built."""
+
+    pattern: FaultPattern
+    workload: DataflowGraph          # possibly shed
+    augmented: DataflowGraph
+    assignment: Dict[str, str]
+    schedule: GlobalSchedule
+    kept_levels: Set[Criticality]
+    #: Route (node path, inclusive) per flow copy; [node] for local flows.
+    routes: Dict[str, List[str]] = field(default_factory=dict)
+
+    @property
+    def mode(self) -> str:
+        return mode_id(self.pattern)
+
+    def instances_on(self, node: str) -> List[str]:
+        return sorted(
+            inst for inst, n in self.assignment.items() if n == node
+        )
+
+    def planned_arrival(self, flow_copy: str) -> Optional[int]:
+        """Planned arrival (µs after period start) at the final consumer."""
+        return self.schedule.arrivals.get(flow_copy)
+
+    def next_hop(self, flow_copy: str, current: str) -> Optional[str]:
+        """Next node after ``current`` on the flow's route, or None."""
+        route = self.routes.get(flow_copy)
+        if not route:
+            return None
+        try:
+            idx = route.index(current)
+        except ValueError:
+            return None
+        return route[idx + 1] if idx + 1 < len(route) else None
+
+    def shed_tasks(self, full_workload: DataflowGraph) -> List[str]:
+        """Original tasks dropped by this plan relative to the full
+        workload."""
+        return sorted(set(full_workload.tasks) - set(self.workload.tasks))
+
+
+def _derive_routes(schedule: GlobalSchedule, augmented: DataflowGraph,
+                   topology: Topology, assignment: Dict[str, str]
+                   ) -> Dict[str, List[str]]:
+    routes: Dict[str, List[str]] = {}
+    for t in schedule.transmissions:
+        path = routes.setdefault(t.flow, [])
+        if not path:
+            path.append(t.sender)
+        path.append(t.receiver)
+    # Local flows (no transmissions): the route is the single hosting node.
+    for flow in augmented.flows:
+        if flow.name in routes:
+            continue
+        src = flow.src
+        node = assignment.get(src) or topology.endpoint_map.get(src)
+        if node is not None:
+            routes[flow.name] = [node]
+    return routes
+
+
+def build_plan(
+    full_workload: DataflowGraph,
+    pattern: FaultPattern,
+    topology: Topology,
+    router: Router,
+    f: int,
+    lane_model: Optional[LaneModel] = None,
+    augment_config: Optional[AugmentConfig] = None,
+    placement_config: Optional[PlacementConfig] = None,
+    parent_assignment: Optional[Dict[str, str]] = None,
+) -> Plan:
+    """Build the plan for ``pattern``, shedding criticality as needed."""
+    augment_config = augment_config or AugmentConfig(replicas=f + 1)
+    lane_model = lane_model or LaneModel(topology)
+    excluding = set(pattern)
+
+    failures: List[str] = []
+    for rung in shedding_ladder(full_workload):
+        kept = {t.criticality for t in rung.tasks.values()}
+        augmented = augment(rung, augment_config)
+        try:
+            assignment = place(
+                augmented, topology, router, excluding,
+                config=placement_config,
+                parent_assignment=parent_assignment,
+            )
+        except PlacementError as exc:
+            failures.append(f"{rung.name}: placement: {exc}")
+            continue
+        schedule = synthesize(
+            augmented, assignment, topology, router,
+            lane_model=lane_model, excluding=excluding,
+        )
+        if not schedule.feasible:
+            failures.append(
+                f"{rung.name}: {len(schedule.violations)} violations "
+                f"(first: {schedule.violations[0]})"
+            )
+            continue
+        routes = _derive_routes(schedule, augmented, topology, assignment)
+        return Plan(
+            pattern=pattern,
+            workload=rung,
+            augmented=augmented,
+            assignment=assignment,
+            schedule=schedule,
+            kept_levels=kept,
+            routes=routes,
+        )
+    raise PlanningError(
+        f"no schedulable plan for pattern {sorted(pattern)}: "
+        + "; ".join(failures)
+    )

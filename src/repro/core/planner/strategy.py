@@ -1,0 +1,200 @@
+"""Strategies: the complete game tree of plans over fault patterns.
+
+§4: "Together, the plans, and the conditions for switching between them,
+form the system's strategy for responding to faults." And §4.1's chess
+analogy: the plan chosen for pattern {X} constrains which plans are cheaply
+reachable for {X, Y}; the builder therefore constructs plans breadth-first
+by pattern size and seeds each child's placement with its parent's
+assignment so transitions move as little state as possible (toggled by
+``minimize_distance`` for the E11 ablation).
+
+The strategy is computed entirely offline ("choosing the strategy offline
+seems safer than dynamic rescheduling at runtime") and a copy is installed
+on every node; lookups at runtime are pure dictionary reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from ...faults.patterns import (
+    FaultPattern,
+    all_patterns_up_to,
+    mode_id,
+    pattern as make_pattern,
+)
+from ...net.routing import Router
+from ...net.topology import Topology
+from ...sched.lanes import LaneModel
+from ...workload.dataflow import DataflowGraph
+from .augment import AugmentConfig
+from .distance import PlanDistance, plan_distance
+from .placement import PlacementConfig
+from .plan import Plan, PlanningError, build_plan
+
+
+@dataclass(frozen=True)
+class StrategyConfig:
+    """Knobs for strategy construction."""
+
+    #: Seed each child plan's placement with its parent's assignment.
+    minimize_distance: bool = True
+    #: Nodes that host sources/sinks are not enumerated as fault patterns
+    #: (the paper's threat focuses on controllers, not sensors/actuators).
+    protect_endpoints: bool = True
+    placement: PlacementConfig = field(default_factory=PlacementConfig)
+
+
+class Strategy:
+    """The installed mapping from fault patterns to plans."""
+
+    def __init__(self, f: int, plans: Dict[FaultPattern, Plan],
+                 covered_nodes: Set[str]) -> None:
+        self.f = f
+        self._plans = dict(plans)
+        self.covered_nodes = set(covered_nodes)
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def patterns(self) -> List[FaultPattern]:
+        return sorted(self._plans, key=lambda p: (len(p), sorted(p)))
+
+    def has_plan(self, pattern: FaultPattern) -> bool:
+        return pattern in self._plans
+
+    def plan_for(self, fault_set: Iterable[str]) -> Plan:
+        """The plan to run given the (append-only) local fault set.
+
+        Exact match when the pattern was anticipated; otherwise degrade
+        deterministically: drop uncovered nodes, then trim to the f
+        worst (lexicographically first) nodes — every correct node applies
+        the same rule, so they converge on the same plan (§4.4).
+        """
+        pattern = make_pattern(n for n in fault_set
+                               if n in self.covered_nodes)
+        if len(pattern) > self.f:
+            pattern = make_pattern(sorted(pattern)[: self.f])
+        plan = self._plans.get(pattern)
+        if plan is not None:
+            return plan
+        # Fall back to the largest anticipated ancestor.
+        for size in range(len(pattern) - 1, -1, -1):
+            candidates = sorted(
+                (p for p in self._plans if len(p) == size and p <= pattern),
+                key=sorted,
+            )
+            if candidates:
+                return self._plans[candidates[0]]
+        raise KeyError(f"no plan for {sorted(fault_set)}")
+
+    @property
+    def nominal(self) -> Plan:
+        return self._plans[frozenset()]
+
+    def transition_distance(self, parent: FaultPattern,
+                            child: FaultPattern) -> PlanDistance:
+        child_plan = self._plans[child]
+        parent_plan = self._plans[parent]
+        return plan_distance(parent_plan.assignment, child_plan.assignment,
+                             child_plan.augmented)
+
+    def worst_transition_transfer_us(self, topology, router,
+                                     lane_model) -> int:
+        """Worst-case state-transfer time of any single-fault-step
+        transition, accounting for the actual routes and STATE-lane rates
+        available *after* the new fault — the quantity the paper's chess
+        example is about (a plan is bad if its successor must drag state
+        over a thin link)."""
+        from ...sim.message import MessageKind
+        from ..modes.transition import compute_transition
+
+        worst = 0
+        for child in self._plans:
+            if not child:
+                continue
+            for failed in child:
+                parent = child - {failed}
+                if parent not in self._plans:
+                    continue
+                child_plan = self._plans[child]
+                parent_plan = self._plans[parent]
+                for node in topology.nodes:
+                    if node in child:
+                        continue
+                    transition = compute_transition(
+                        node, parent_plan, child_plan, set(child))
+                    for fetch in transition.fetches:
+                        if fetch.source is None or fetch.source == node:
+                            continue
+                        try:
+                            path = router.route(fetch.source, node,
+                                                excluding=set(child))
+                        except Exception:
+                            continue
+                        transfer = 0
+                        for a, b in zip(path[:-1], path[1:]):
+                            link = topology.link_between(a, b)
+                            transfer += lane_model.transmission_us(
+                                link, MessageKind.STATE, fetch.bits)
+                        worst = max(worst, transfer)
+        return worst
+
+    def max_transition_state_bits(self) -> int:
+        """Worst-case state shipped by any single-fault-step transition."""
+        worst = 0
+        for child in self._plans:
+            if not child:
+                continue
+            for node in child:
+                parent = child - {node}
+                if parent in self._plans:
+                    worst = max(
+                        worst,
+                        self.transition_distance(parent, child).state_bits,
+                    )
+        return worst
+
+
+def build_strategy(
+    workload: DataflowGraph,
+    topology: Topology,
+    router: Router,
+    f: int,
+    lane_model: Optional[LaneModel] = None,
+    config: Optional[StrategyConfig] = None,
+    augment_config: Optional[AugmentConfig] = None,
+) -> Strategy:
+    """Compute plans for every fault pattern of size ≤ f. Raises
+    :class:`PlanningError` if any anticipated pattern is unschedulable even
+    after shedding."""
+    if f < 0:
+        raise ValueError("f must be >= 0")
+    config = config or StrategyConfig()
+    lane_model = lane_model or LaneModel(topology)
+    augment_config = augment_config or AugmentConfig(replicas=f + 1)
+
+    endpoint_nodes = set(topology.endpoint_map.values())
+    candidates = [
+        n for n in sorted(topology.nodes)
+        if not (config.protect_endpoints and n in endpoint_nodes)
+    ]
+    plans: Dict[FaultPattern, Plan] = {}
+    for pattern in all_patterns_up_to(candidates, f):
+        parent_assignment = None
+        if pattern and config.minimize_distance:
+            # The deterministic parent: remove the lexicographically last
+            # member (it is the most recent addition under sorted pacing).
+            parent = pattern - {sorted(pattern)[-1]}
+            parent_plan = plans.get(parent)
+            if parent_plan is not None:
+                parent_assignment = parent_plan.assignment
+        plans[pattern] = build_plan(
+            workload, pattern, topology, router, f,
+            lane_model=lane_model,
+            augment_config=augment_config,
+            placement_config=config.placement,
+            parent_assignment=parent_assignment,
+        )
+    return Strategy(f=f, plans=plans, covered_nodes=set(candidates))

@@ -1,0 +1,25 @@
+"""The BTR runtime: configuration, budgets, agents, and the system API."""
+
+from .agent import NodeAgent
+from .budget import (
+    RecoveryBudget,
+    compute_budget,
+    detection_bound,
+    distribution_bound,
+    recovery_bound_for_deadline,
+)
+from .config import BTRConfig
+from .system import BTRSystem, NotPreparedError, RunResult
+
+__all__ = [
+    "NodeAgent",
+    "RecoveryBudget",
+    "compute_budget",
+    "detection_bound",
+    "distribution_bound",
+    "recovery_bound_for_deadline",
+    "BTRConfig",
+    "BTRSystem",
+    "NotPreparedError",
+    "RunResult",
+]

@@ -1,0 +1,358 @@
+"""`BTRSystem`: the public entry point of the library.
+
+Typical use::
+
+    from repro import BTRSystem, BTRConfig
+    from repro.net import full_mesh_topology
+    from repro.workload import industrial_workload
+    from repro.faults import SingleFaultAdversary
+
+    workload = industrial_workload()
+    topology = full_mesh_topology(6)
+    system = BTRSystem(workload, topology, BTRConfig(f=1))
+    system.prepare()                           # offline planning
+    result = system.run(
+        n_periods=40,
+        adversary=SingleFaultAdversary(at=250_000, kind="commission"),
+    )
+    print(result.summary())
+
+``prepare()`` runs the offline planner (strategy over all fault patterns up
+to f) and computes the achievable recovery budget; ``run()`` executes the
+deployment on a fresh discrete-event simulation, optionally under an
+adversary, and returns a :class:`RunResult` whose trace the analysis layer
+consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ...crypto.signatures import KeyDirectory
+from ...faults.adversary import Adversary, FaultScript
+from ...net.routing import Router
+from ...net.topology import Topology
+from ...sched.lanes import LaneModel
+from ...sim.engine import Simulator
+from ...sim.message import Message
+from ...sim.trace import (
+    Custom,
+    FaultInjected,
+    MessageDelivered,
+    MessageSent,
+    ModeSwitchCompleted,
+    OutputProduced,
+    Trace,
+)
+from ...workload.dataflow import DataflowGraph
+from ..planner.plan import PlanningError
+from ..planner.strategy import Strategy, StrategyConfig, build_strategy
+from ..planner.placement import PlacementConfig
+from ..planner.augment import AugmentConfig
+from .agent import NodeAgent
+from .budget import RecoveryBudget, compute_budget, distribution_bound
+from .config import BTRConfig
+
+
+class NotPreparedError(Exception):
+    """Raised when run() is called before prepare()."""
+
+
+@dataclass
+class RunResult:
+    """Everything observable about one run."""
+
+    trace: Trace
+    config: Optional[BTRConfig]
+    workload: DataflowGraph
+    n_periods: int
+    duration_us: int
+    #: None for baseline systems, which make no recovery promise.
+    budget: Optional[RecoveryBudget]
+    #: node -> final mode id.
+    final_modes: Dict[str, str] = field(default_factory=dict)
+    #: node -> final fault set.
+    final_fault_sets: Dict[str, frozenset] = field(default_factory=dict)
+    #: Sink flows the post-fault plan deliberately shed (mixed-criticality
+    #: degradation), mapped to the time from which they are excused. The
+    #: analysis layer uses this for Definition 3.1's shedding extension.
+    excused_flows: Dict[str, int] = field(default_factory=dict)
+
+    def outputs(self) -> List[OutputProduced]:
+        return self.trace.of_kind(OutputProduced)
+
+    def fault_times(self) -> Dict[str, int]:
+        return {e.node: e.time for e in self.trace.of_kind(FaultInjected)}
+
+    def mode_switches(self) -> List[ModeSwitchCompleted]:
+        return self.trace.of_kind(ModeSwitchCompleted)
+
+    def messages_sent(self) -> int:
+        return len(self.trace.of_kind(MessageSent))
+
+    def summary(self) -> str:
+        faults = self.fault_times()
+        switches = self.mode_switches()
+        return (
+            f"{self.n_periods} periods ({self.duration_us}us), "
+            f"{len(self.outputs())} outputs, {len(faults)} faults "
+            f"({', '.join(sorted(faults))}), "
+            f"{len(switches)} mode-switch completions"
+        )
+
+
+class BTRSystem:
+    """A BTR deployment: workload + topology + config, prepared then run."""
+
+    def __init__(self, workload: DataflowGraph, topology: Topology,
+                 config: Optional[BTRConfig] = None) -> None:
+        self.workload = workload
+        self.topology = topology
+        self.config = config or BTRConfig()
+        if not set(workload.sources) <= set(topology.endpoint_map):
+            topology.place_endpoints_round_robin(workload.sources,
+                                                 workload.sinks)
+        self.router = Router(topology)
+        self.lane_model = LaneModel(topology, self.config.lanes)
+        self.directory = KeyDirectory(master_seed=self.config.seed)
+        for node_id in topology.nodes:
+            self.directory.register(node_id)
+        self.strategy: Optional[Strategy] = None
+        self.budget: Optional[RecoveryBudget] = None
+        self.switch_lead_us: int = 0
+        # Per-run state:
+        self.sim: Optional[Simulator] = None
+        self.trace: Optional[Trace] = None
+        self.agents: Dict[str, NodeAgent] = {}
+
+    # ------------------------------------------------------------- prepare
+
+    def prepare(self) -> RecoveryBudget:
+        """Run the offline planner; returns the achievable recovery budget.
+
+        Raises :class:`PlanningError` if some anticipated fault pattern is
+        unschedulable even after shedding, and ValueError if a requested
+        R bound is tighter than the deployment can achieve.
+        """
+        strategy_config = StrategyConfig(
+            minimize_distance=self.config.minimize_distance,
+            protect_endpoints=self.config.protect_endpoints,
+            placement=PlacementConfig(
+                use_locality=self.config.use_locality,
+                use_distance=self.config.minimize_distance,
+                use_exposure=self.config.strategic_placement,
+            ),
+        )
+        augment_config = AugmentConfig(
+            replicas=self.config.f + 1, check_us=self.config.check_us,
+        )
+        self.strategy = build_strategy(
+            self.workload, self.topology, self.router, self.config.f,
+            lane_model=self.lane_model, config=strategy_config,
+            augment_config=augment_config,
+        )
+        self.switch_lead_us = (
+            self.config.switch_lead_us
+            if self.config.switch_lead_us is not None
+            else distribution_bound(self.topology, self.lane_model,
+                                    self.config)
+        )
+        self.budget = compute_budget(self.strategy, self.topology,
+                                     self.lane_model, self.router,
+                                     self.config)
+        if (self.config.R_us is not None
+                and self.budget.total_us > self.config.R_us):
+            raise ValueError(
+                f"requested R={self.config.R_us}us not achievable: "
+                f"budget needs {self.budget.total_us}us "
+                f"(detection {self.budget.detection_us} + distribution "
+                f"{self.budget.distribution_us} + switch "
+                f"{self.budget.switch_us} + settling "
+                f"{self.budget.settling_us})"
+            )
+        return self.budget
+
+    # ----------------------------------------------------------------- run
+
+    def run(self, n_periods: int,
+            adversary: Optional[Union[Adversary, FaultScript]] = None,
+            link_script: Optional[List[tuple]] = None) -> RunResult:
+        """Execute ``n_periods`` of the deployment under ``adversary``.
+
+        ``link_script`` optionally degrades links mid-run: a list of
+        ``(time_us, link_id, loss_probability)`` events (e.g. a connector
+        working loose, EMI on one segment). Link faults are *not* node
+        faults: the strategy's modes are keyed by faulty node sets, so a
+        bad link surfaces as path declarations charging both endpoints —
+        the tie that strict-dominance attribution deliberately refuses to
+        break. E16 measures exactly what that buys and costs.
+        """
+        if self.strategy is None:
+            raise NotPreparedError("call prepare() before run()")
+        period = self.workload.period
+        duration = n_periods * period
+
+        self.sim = Simulator(seed=self.config.seed)
+        self.trace = Trace()
+        clock_rng = self.sim.rng.fork("clocks")
+        for node_id, node in sorted(self.topology.nodes.items()):
+            node.reset()
+            drift = self.config.clock_drift_ppm
+            node.clock = type(node.clock)(
+                drift_ppm=clock_rng.uniform(-drift, drift) if drift else 0.0,
+            )
+        for link in self.topology.links.values():
+            link.reset()
+        self.lane_model.install()
+
+        self.agents = {
+            node_id: NodeAgent(self, node)
+            for node_id, node in sorted(self.topology.nodes.items())
+        }
+        self._install_clock_sync()
+
+        script = self._resolve_script(adversary)
+        for injection in script:
+            agent = self.agents[injection.node]
+            self.sim.call_at(
+                injection.time,
+                lambda a=agent, b=injection.behavior: a.compromise(b),
+            )
+        for at, link_id, loss in (link_script or []):
+            link = self.topology.links[link_id]
+
+            def degrade(l=link, p=loss, lid=link_id) -> None:
+                l.loss_probability = p
+                self.trace.record(Custom(
+                    time=self.sim.now, label="link_degraded",
+                    data={"link": lid, "loss": p},
+                ))
+
+            self.sim.call_at(at, degrade)
+
+        def tick(k: int) -> None:
+            for node_id in sorted(self.agents):
+                self.agents[node_id].on_period_start(k)
+            if k + 1 < n_periods:
+                self.sim.call_at((k + 1) * period, lambda: tick(k + 1))
+
+        self.sim.call_at(0, lambda: tick(0))
+        self.sim.run_until(duration)
+
+        # Flows deliberately shed by the plan in force at the end of the
+        # run, excused from the first mode switch onward.
+        excused: Dict[str, int] = {}
+        switches = self.trace.of_kind(ModeSwitchCompleted)
+        if switches:
+            first_switch = switches[0].time
+            fault_sets = [a.switcher.fault_set.snapshot()
+                          for n, a in self.agents.items()
+                          if not self.topology.nodes[n].compromised]
+            union = frozenset().union(*fault_sets) if fault_sets \
+                else frozenset()
+            final_plan = self.strategy.plan_for(union)
+            kept = {f.name for f in final_plan.workload.sink_flows()}
+            for flow in self.workload.sink_flows():
+                if flow.name not in kept:
+                    excused[flow.name] = first_switch
+
+        return RunResult(
+            trace=self.trace,
+            config=self.config,
+            workload=self.workload,
+            n_periods=n_periods,
+            duration_us=duration,
+            budget=self.budget,
+            final_modes={n: a.plan.mode for n, a in self.agents.items()},
+            final_fault_sets={
+                n: a.switcher.fault_set.snapshot()
+                for n, a in self.agents.items()
+            },
+            excused_flows=excused,
+        )
+
+    def _install_clock_sync(self) -> None:
+        """Periodic clock synchronization (the paper's synchrony
+        assumption). Correct nodes are re-centred each round; a node whose
+        behaviour pins a rogue clock ignores the round and keeps its
+        offset."""
+        interval = self.config.clock_sync_interval_us
+        if interval <= 0:
+            return
+
+        def sync_round() -> None:
+            now = self.sim.now
+            for node_id, agent in sorted(self.agents.items()):
+                offset = agent.behavior.rogue_clock_offset_us
+                if offset is not None:
+                    agent.node.clock.synchronize_to(now, now + offset)
+                else:
+                    agent.node.clock.synchronize_to(now, now)
+            self.sim.call_after(interval, sync_round)
+
+        self.sim.call_after(interval, sync_round)
+
+    def _resolve_script(self, adversary) -> FaultScript:
+        if adversary is None:
+            return FaultScript()
+        if isinstance(adversary, FaultScript):
+            return adversary
+        candidates = self.compromisable_nodes()
+        return adversary.script(candidates,
+                                self.sim.rng.fork("adversary"))
+
+    def compromisable_nodes(self) -> List[str]:
+        """Nodes the experiments let the adversary pick from: strategy-
+        covered nodes that actually host instances in the nominal plan."""
+        nominal = self.strategy.nominal
+        hosting = set(nominal.assignment.values())
+        return sorted(set(self.strategy.covered_nodes) & hosting)
+
+    # ------------------------------------------------------------ messaging
+
+    def transmit(self, sender: str, receiver: str, message: Message) -> None:
+        """One-hop transmission on the shared substrate, with tracing."""
+        link = self.topology.nodes[sender].link_to(receiver)
+        if link is None:
+            return
+        self.trace.record(MessageSent(
+            time=self.sim.now, src=sender, dst=receiver,
+            kind=message.kind.value, size_bits=message.size_bits,
+            flow=message.flow,
+        ))
+
+        def deliver(msg: Message, at: int) -> None:
+            self.trace.record(MessageDelivered(
+                time=at, src=sender, dst=receiver, kind=msg.kind.value,
+                flow=msg.flow,
+            ))
+            self.topology.nodes[receiver].deliver(msg, at)
+
+        link.transmit(self.sim, message, sender, receiver, deliver)
+
+    def send_routed(self, agent: NodeAgent, message: Message,
+                    plan) -> None:
+        """Send a control/state message along a static route that avoids
+        the plan's known-faulty nodes."""
+        if message.dst == agent.node_id:
+            self.sim.call_after(
+                1, lambda: self.topology.nodes[message.dst].deliver(
+                    message, self.sim.now))
+            return
+        try:
+            path = self.router.route(agent.node_id, message.dst,
+                                     excluding=set(plan.pattern))
+        except Exception:
+            return
+        if len(path) < 2:
+            return
+        self.transmit(agent.node_id, path[1], message)
+
+    def next_hop_static(self, current: str, dst: str) -> Optional[str]:
+        """Next hop on the nominal shortest path (control forwarding)."""
+        try:
+            path = self.router.route(current, dst)
+        except Exception:
+            return None
+        return path[1] if len(path) > 1 else None

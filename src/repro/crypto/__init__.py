@@ -1,0 +1,21 @@
+"""Simulated cryptography: signatures, authenticated statements, costs."""
+
+from .authenticator import AuthenticatedStatement, digest
+from .costs import DEFAULT_COSTS, CryptoCosts
+from .signatures import (
+    KeyDirectory,
+    Signature,
+    SignatureError,
+    canonical_bytes,
+)
+
+__all__ = [
+    "AuthenticatedStatement",
+    "digest",
+    "DEFAULT_COSTS",
+    "CryptoCosts",
+    "KeyDirectory",
+    "Signature",
+    "SignatureError",
+    "canonical_bytes",
+]

@@ -1,0 +1,45 @@
+"""Hash digests and authenticated message records.
+
+Evidence records carry *signed statements* — e.g. "node X sent value v for
+flow f in period k at local time t". An :class:`AuthenticatedStatement`
+bundles the statement payload with its signature and knows its wire size, so
+the evidence distributor can account for bandwidth precisely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any
+
+from .signatures import KeyDirectory, Signature, canonical_bytes
+
+
+def digest(payload: Any) -> str:
+    """A short deterministic content digest (used for dedup and receipts)."""
+    return hashlib.sha256(canonical_bytes(payload)).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class AuthenticatedStatement:
+    """A statement plus the signature of the node that made it."""
+
+    statement: dict
+    signature: Signature
+
+    @classmethod
+    def make(cls, directory: KeyDirectory, signer: str,
+             statement: dict) -> "AuthenticatedStatement":
+        return cls(statement=statement,
+                   signature=directory.sign(signer, statement))
+
+    def valid(self, directory: KeyDirectory) -> bool:
+        return directory.verify(self.statement, self.signature)
+
+    @property
+    def signer(self) -> str:
+        return self.signature.signer
+
+    def wire_bits(self) -> int:
+        """Approximate wire size: canonical payload + signature."""
+        return len(canonical_bytes(self.statement)) * 8 + Signature.WIRE_BITS

@@ -1,0 +1,102 @@
+"""Simulated digital signatures.
+
+The paper's evidence machinery needs signatures with the usual properties:
+only the keyholder can produce a valid tag, anyone can verify, and evidence
+is transferable. Inside a simulation, HMAC over a per-node secret gives
+exactly this — the fault injectors only hand compromised nodes *their own*
+keys, so a compromised node cannot forge statements by correct nodes, which
+is the property all of §4.2–4.3 rests on.
+
+CPU cost of signing/verifying is charged separately in *simulated* time via
+:class:`~repro.crypto.costs.CryptoCosts`; the Python-level HMAC here is just
+the soundness mechanism.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+class SignatureError(Exception):
+    """Raised when signing is attempted with an unknown identity."""
+
+
+def canonical_bytes(payload: Any) -> bytes:
+    """Deterministic serialization for signing.
+
+    JSON with sorted keys; tuples become lists; unsupported objects are
+    rejected rather than silently repr'd, so two nodes can never disagree on
+    the byte string being signed.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=_reject).encode()
+
+
+def _reject(obj: Any) -> Any:
+    raise TypeError(f"unsignable object in payload: {type(obj).__name__}")
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A (signer, tag) pair attached to a message or evidence record."""
+
+    signer: str
+    tag: str
+
+    #: Wire size of one signature, in bits (Ed25519-like: 64 bytes).
+    WIRE_BITS = 512
+
+
+class KeyDirectory:
+    """Per-node signing keys, derived deterministically from a master seed.
+
+    The directory object plays both roles of a deployed PKI: nodes sign with
+    their private key (the HMAC secret) and verify using the public mapping.
+    Access control is enforced by the fault injectors — only the behaviour
+    running *as* node X calls ``sign(X, ...)``.
+    """
+
+    def __init__(self, master_seed: int = 0) -> None:
+        self._master_seed = master_seed
+        self._keys: Dict[str, bytes] = {}
+
+    def register(self, node_id: str) -> None:
+        """Provision a key for ``node_id`` (idempotent)."""
+        if node_id not in self._keys:
+            self._keys[node_id] = hashlib.sha256(
+                f"key:{self._master_seed}:{node_id}".encode()
+            ).digest()
+
+    def knows(self, node_id: str) -> bool:
+        return node_id in self._keys
+
+    def sign(self, signer: str, payload: Any) -> Signature:
+        key = self._keys.get(signer)
+        if key is None:
+            raise SignatureError(f"no key registered for {signer!r}")
+        tag = hmac.new(key, canonical_bytes(payload), hashlib.sha256)
+        return Signature(signer=signer, tag=tag.hexdigest())
+
+    def verify(self, payload: Any, signature: Signature) -> bool:
+        """True iff ``signature`` is a valid tag by its claimed signer."""
+        key = self._keys.get(signature.signer)
+        if key is None:
+            return False
+        expected = hmac.new(key, canonical_bytes(payload),
+                            hashlib.sha256).hexdigest()
+        return hmac.compare_digest(expected, signature.tag)
+
+    def forge(self, claimed_signer: str, payload: Any) -> Signature:
+        """An *invalid* signature claiming to be from ``claimed_signer``.
+
+        Used only by fault injectors to model fabricated evidence; verify()
+        rejects it.
+        """
+        bogus = hashlib.sha256(
+            b"forged:" + canonical_bytes(payload)
+        ).hexdigest()
+        return Signature(signer=claimed_signer, tag=bogus)

@@ -1,0 +1,166 @@
+"""Adversary strategies: who gets compromised, when, and how.
+
+An :class:`Adversary` produces a :class:`FaultScript` — a deterministic list
+of (time, node, behaviour) injections the runtime executes. The marquee
+strategy is :class:`PacingAdversary`, the paper's §3 worst case: "if an
+adversary controls k ≤ f nodes, he can trigger a new fault every R seconds
+and thus potentially force the system to produce bad outputs for kR seconds".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..sim.random import DeterministicRandom
+from .behaviors import (
+    CommissionFault,
+    CrashFault,
+    EquivocationFault,
+    EvidenceFloodFault,
+    FaultBehavior,
+    OmissionFault,
+    RogueClockFault,
+    TimingFault,
+)
+
+
+@dataclass(frozen=True)
+class Injection:
+    """One scripted compromise: at ``time``, ``node`` adopts ``behavior``."""
+
+    time: int
+    node: str
+    behavior: FaultBehavior
+
+
+@dataclass
+class FaultScript:
+    """A deterministic, time-ordered list of injections."""
+
+    injections: List[Injection] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.injections.sort(key=lambda i: (i.time, i.node))
+        seen = set()
+        for injection in self.injections:
+            if injection.node in seen:
+                raise ValueError(
+                    f"node {injection.node} injected twice (a compromised "
+                    f"node stays compromised)"
+                )
+            seen.add(injection.node)
+
+    @property
+    def faulty_nodes(self) -> List[str]:
+        return [i.node for i in self.injections]
+
+    def __iter__(self):
+        return iter(self.injections)
+
+    def __len__(self) -> int:
+        return len(self.injections)
+
+
+#: Factory for each named fault kind, given a fork of the run's RNG.
+BEHAVIOR_FACTORIES: dict = {
+    "crash": lambda rng: CrashFault(),
+    "omission": lambda rng: OmissionFault(rng=rng),
+    "commission": lambda rng: CommissionFault(),
+    "timing": lambda rng: TimingFault(),
+    "equivocation": lambda rng: EquivocationFault(),
+    "evidence_flood": lambda rng: EvidenceFloodFault(),
+    "rogue_clock": lambda rng: RogueClockFault(),
+}
+
+
+def make_behavior(kind: str, rng: Optional[DeterministicRandom] = None
+                  ) -> FaultBehavior:
+    """Instantiate a behaviour by kind name."""
+    try:
+        factory = BEHAVIOR_FACTORIES[kind]
+    except KeyError:
+        raise ValueError(f"unknown fault kind {kind!r}") from None
+    return factory(rng or DeterministicRandom(0))
+
+
+class Adversary:
+    """Base adversary: compromises nothing."""
+
+    def script(self, candidate_nodes: Sequence[str],
+               rng: DeterministicRandom) -> FaultScript:
+        return FaultScript()
+
+
+@dataclass
+class SingleFaultAdversary(Adversary):
+    """Compromises one chosen (or first candidate) node at a fixed time."""
+
+    at: int
+    kind: str = "commission"
+    node: Optional[str] = None
+
+    def script(self, candidate_nodes, rng) -> FaultScript:
+        if not candidate_nodes:
+            return FaultScript()
+        node = self.node if self.node is not None else sorted(candidate_nodes)[0]
+        if node not in candidate_nodes:
+            raise ValueError(f"{node} is not a candidate for compromise")
+        return FaultScript([
+            Injection(self.at, node, make_behavior(self.kind, rng)),
+        ])
+
+
+@dataclass
+class PacingAdversary(Adversary):
+    """The §3 worst case: a new fault every ``interval`` µs, k faults total.
+
+    With interval = R, each fault lands just as the system finishes
+    recovering from the previous one, maximising total disruption (≈ kR).
+    """
+
+    start: int
+    interval: int
+    k: int
+    kind: str = "commission"
+    #: Explicit victim order (defaults to sorted candidates).
+    victims: Optional[Sequence[str]] = None
+
+    def script(self, candidate_nodes, rng) -> FaultScript:
+        victims = list(self.victims if self.victims is not None
+                       else sorted(candidate_nodes))[: self.k]
+        if len(victims) < self.k:
+            raise ValueError(
+                f"adversary wants {self.k} victims, only {len(victims)} "
+                f"candidates"
+            )
+        return FaultScript([
+            Injection(self.start + i * self.interval, node,
+                      make_behavior(self.kind, rng.fork(f"pace{i}")))
+            for i, node in enumerate(victims)
+        ])
+
+
+@dataclass
+class RandomAdversary(Adversary):
+    """k faults at random times and nodes (seeded, reproducible)."""
+
+    horizon: int
+    k: int
+    kinds: Sequence[str] = ("crash", "omission", "commission", "timing")
+    min_time: int = 0
+
+    def script(self, candidate_nodes, rng) -> FaultScript:
+        candidates = sorted(candidate_nodes)
+        if len(candidates) < self.k:
+            raise ValueError("not enough candidate nodes")
+        victims = rng.sample(candidates, self.k)
+        times = sorted(
+            rng.randint(self.min_time, self.horizon) for _ in range(self.k)
+        )
+        return FaultScript([
+            Injection(t, node,
+                      make_behavior(rng.choice(list(self.kinds)),
+                                    rng.fork(f"rand{i}")))
+            for i, (t, node) in enumerate(zip(times, victims))
+        ])

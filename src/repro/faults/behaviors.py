@@ -1,0 +1,228 @@
+"""Byzantine fault behaviours.
+
+The threat model (§2.1): "an adversary who has compromised some subset of
+the nodes and has complete control over them". A :class:`FaultBehavior` is
+what a compromised node's software does instead of its expected behaviour.
+The node's *resources* stay physically enforced (CPU speed, lane shares) —
+only its outputs, timing, and claims are under adversarial control.
+
+The runtime's per-node agent consults the active behaviour at each decision
+point; the hooks below are those decision points. The default implementations
+are "behave correctly", so subclasses override only the dimensions they
+corrupt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence
+
+
+class FaultBehavior:
+    """Base class: a correct node's behaviour. Subclass and override."""
+
+    #: Human-readable fault kind recorded in traces.
+    kind = "correct"
+    #: If not None, the node's clock is pinned this many µs off true time
+    #: and ignores clock synchronization (a rogue clock).
+    rogue_clock_offset_us: Optional[int] = None
+
+    def on_activate(self, agent) -> None:
+        """Called once when the behaviour is installed on a node agent."""
+
+    def drops_message(self, flow: Optional[str], period_index: int,
+                      receiver: str) -> bool:
+        """True to silently omit this outgoing message."""
+        return False
+
+    def corrupt_value(self, task: str, period_index: int, value: int,
+                      receiver: Optional[str] = None) -> int:
+        """Rewrite an output value (per receiver, enabling equivocation)."""
+        return value
+
+    def delay_send(self, flow: Optional[str], period_index: int) -> int:
+        """Extra µs to hold an outgoing message (timing faults)."""
+        return 0
+
+    def claimed_send_offset(self, actual: int, planned: int) -> int:
+        """The send timestamp the node embeds in its signed statement.
+
+        Correct nodes report the truth. A timing-faulty node that also lies
+        here (claims the planned time) avoids self-incrimination and forces
+        detection down the path-declaration route.
+        """
+        return actual
+
+    def suppresses_detection(self) -> bool:
+        """True if this node's detector/checker duties are abandoned."""
+        return False
+
+    def fabricates_evidence(self) -> bool:
+        """True if this node floods the system with bogus evidence."""
+        return False
+
+    def is_crash(self) -> bool:
+        return False
+
+
+class CrashFault(FaultBehavior):
+    """Fail-stop: the node goes silent and never recovers."""
+
+    kind = "crash"
+
+    def on_activate(self, agent) -> None:
+        agent.node.crashed = True
+
+    def is_crash(self) -> bool:
+        return True
+
+
+@dataclass
+class OmissionFault(FaultBehavior):
+    """Selectively (or always) fails to send required messages.
+
+    §4.2: "a faulty node may be able to drain substantial resources from the
+    system by constantly failing to send messages and then claiming that the
+    problem is with the recipient."
+    """
+
+    kind = "omission"
+    #: Probability of dropping each outgoing message (1.0 = total silence
+    #: on the data plane while remaining alive on the control plane).
+    drop_probability: float = 1.0
+    #: Restrict drops to these flows (None = all flows).
+    target_flows: Optional[frozenset] = None
+    #: Seeded RNG supplied by the injector for reproducibility.
+    rng: Any = None
+
+    def drops_message(self, flow, period_index, receiver) -> bool:
+        if self.target_flows is not None and flow not in self.target_flows:
+            return False
+        if self.drop_probability >= 1.0:
+            return True
+        if self.rng is None:
+            return False
+        return self.rng.random() < self.drop_probability
+
+    def suppresses_detection(self) -> bool:
+        return True
+
+
+@dataclass
+class CommissionFault(FaultBehavior):
+    """Sends syntactically valid but wrong values (value corruption)."""
+
+    kind = "commission"
+    #: XOR mask applied to corrupted values; nonzero guarantees wrongness.
+    corruption_mask: int = 0xDEADBEEF
+    #: Restrict corruption to these tasks (None = all hosted tasks).
+    target_tasks: Optional[frozenset] = None
+
+    def corrupt_value(self, task, period_index, value, receiver=None) -> int:
+        if self.target_tasks is not None and task not in self.target_tasks:
+            return value
+        return value ^ self.corruption_mask
+
+    def suppresses_detection(self) -> bool:
+        return True
+
+
+@dataclass
+class TimingFault(FaultBehavior):
+    """Right value, wrong time: delays outgoing messages past their window.
+
+    §4.2: BTR "additionally requires the detection of timing-related faults
+    (such as doing the right thing at the wrong time)".
+    """
+
+    kind = "timing"
+    delay_us: int = 5_000
+    #: If True, the node lies about when it sent (claims the planned
+    #: time), dodging self-incrimination; detection falls back to path
+    #: declarations.
+    fake_timestamp: bool = False
+
+    def delay_send(self, flow, period_index) -> int:
+        return self.delay_us
+
+    def claimed_send_offset(self, actual: int, planned: int) -> int:
+        return planned if self.fake_timestamp else actual
+
+    def suppresses_detection(self) -> bool:
+        return True
+
+
+@dataclass
+class EquivocationFault(FaultBehavior):
+    """Sends different values for the same output to different receivers."""
+
+    kind = "equivocation"
+    corruption_mask: int = 0x5A5A5A5A
+    #: Receivers that get the corrupted copy; others get the truth. If None,
+    #: receivers are split deterministically by hash parity.
+    lied_to: Optional[frozenset] = None
+
+    def corrupt_value(self, task, period_index, value, receiver=None) -> int:
+        if receiver is None:
+            return value
+        if self.lied_to is not None:
+            lie = receiver in self.lied_to
+        else:
+            # Stable split (never hash(): it is randomized per process).
+            lie = (sum(receiver.encode()) & 1) == 1
+        return value ^ self.corruption_mask if lie else value
+
+    def suppresses_detection(self) -> bool:
+        return True
+
+
+@dataclass
+class RogueClockFault(FaultBehavior):
+    """A node whose clock is wildly wrong and refuses synchronization.
+
+    The node behaves *honestly* relative to its own clock — it computes
+    correct values and stamps messages with its genuine local time — but
+    that local time is off by ``offset_us``. With an offset beyond the
+    period, its signed send offsets are grossly invalid and become
+    self-incriminating timing evidence; smaller offsets surface as
+    arrival anomalies and go down the declaration route.
+    """
+
+    kind = "rogue_clock"
+    offset_us: int = 150_000
+
+    def __post_init__(self) -> None:
+        self.rogue_clock_offset_us = self.offset_us
+
+    def on_activate(self, agent) -> None:
+        agent.node.clock.synchronize_to(agent.sim.now,
+                                        agent.sim.now + self.offset_us)
+
+    def suppresses_detection(self) -> bool:
+        return True
+
+
+@dataclass
+class EvidenceFloodFault(FaultBehavior):
+    """Fabricates a stream of bogus evidence to DoS the control plane.
+
+    §4.3: "a compromised node can still fabricate evidence that is improperly
+    signed ... there must be a way to quickly recognize and reject such
+    cases."
+    """
+
+    kind = "evidence_flood"
+    #: Bogus records injected per period.
+    records_per_period: int = 10
+    #: Whom to falsely accuse (None = rotate over all other nodes).
+    accused: Optional[str] = None
+    #: Sign the junk with the node's real key. Properly signed slander is
+    #: costlier to reject (full validation) but is *attributable* — the
+    #: slander counter implicates the signer (§4.3).
+    proper_signatures: bool = False
+
+    def fabricates_evidence(self) -> bool:
+        return True
+
+    def suppresses_detection(self) -> bool:
+        return True

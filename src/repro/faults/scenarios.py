@@ -1,0 +1,178 @@
+"""Named fault scenarios: the situations worth rehearsing, canned.
+
+Each scenario is a recipe that, given a prepared :class:`BTRSystem`,
+produces the fault script (and optional link script) for a situation the
+literature and the experiments care about. They pick sensible victims from
+the deployment (e.g. "the node hosting the most checkers") so callers
+don't need to reverse-engineer placements. Used by ``python -m repro run
+--scenario`` and by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .adversary import FaultScript, Injection, make_behavior
+from .behaviors import (
+    CommissionFault,
+    CrashFault,
+    EvidenceFloodFault,
+    OmissionFault,
+    RogueClockFault,
+)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A runnable situation: fault script + optional link degradations."""
+
+    name: str
+    description: str
+    script: FaultScript
+    link_script: List[Tuple[int, str, float]]
+
+
+class ScenarioError(Exception):
+    """Raised when a scenario cannot be staged on this deployment."""
+
+
+def _fault_time(system, periods: float = 4.4) -> int:
+    return int(periods * system.workload.period)
+
+
+def _checker_heavy_victim(system) -> str:
+    plan = system.strategy.nominal
+    candidates = system.compromisable_nodes()
+    if not candidates:
+        raise ScenarioError("no compromisable nodes in this deployment")
+    return max(candidates, key=lambda n: (
+        sum(1 for i in plan.instances_on(n) if i.endswith("#c")), n))
+
+
+def single_fault(system, kind: str = "commission") -> Scenario:
+    """One Byzantine fault of the given kind, mid-run."""
+    victims = system.compromisable_nodes()
+    if not victims:
+        raise ScenarioError("no compromisable nodes")
+    at = _fault_time(system)
+    return Scenario(
+        name=f"single_{kind}",
+        description=f"one {kind} fault on {victims[0]}",
+        script=FaultScript([Injection(at, victims[0],
+                                      make_behavior(kind))]),
+        link_script=[],
+    )
+
+
+def checker_host_crash(system) -> Scenario:
+    """Crash the node hosting the most checking tasks — the forwarding
+    bottleneck the audit-reconstruction fallback exists for."""
+    victim = _checker_heavy_victim(system)
+    return Scenario(
+        name="checker_host_crash",
+        description=f"crash of checker-heavy node {victim}",
+        script=FaultScript([Injection(_fault_time(system), victim,
+                                      CrashFault())]),
+        link_script=[],
+    )
+
+
+def paced_double(system, kind: str = "commission") -> Scenario:
+    """Two faults paced one recovery bound apart (§3's kR worst case).
+    Requires f >= 2."""
+    victims = system.compromisable_nodes()
+    if system.config.f < 2 or len(victims) < 2:
+        raise ScenarioError("paced_double needs f >= 2 and two victims")
+    at = _fault_time(system)
+    interval = system.budget.total_us
+    return Scenario(
+        name="paced_double",
+        description=f"{kind} faults on {victims[0]} and {victims[1]}, "
+                     f"paced R apart",
+        script=FaultScript([
+            Injection(at, victims[0], make_behavior(kind)),
+            Injection(at + interval, victims[1], make_behavior(kind)),
+        ]),
+        link_script=[],
+    )
+
+
+def flood_plus_fault(system, rate: int = 20) -> Scenario:
+    """Evidence flooding as cover for a real commission fault (§4.3's DoS
+    concern). Two compromised nodes: budget f >= 2 to recover from both
+    (the flooder is attributable through its endorsements)."""
+    victims = system.compromisable_nodes()
+    if len(victims) < 2:
+        raise ScenarioError("flood_plus_fault needs two victims")
+    at = _fault_time(system)
+    return Scenario(
+        name="flood_plus_fault",
+        description=f"{victims[0]} floods forged evidence while "
+                     f"{victims[1]} lies",
+        script=FaultScript([
+            Injection(at - system.workload.period, victims[0],
+                      EvidenceFloodFault(records_per_period=rate)),
+            Injection(at, victims[1], CommissionFault()),
+        ]),
+        link_script=[],
+    )
+
+
+def rogue_clock(system, offset_us: Optional[int] = None) -> Scenario:
+    """A node's clock breaks badly and ignores synchronization."""
+    victims = system.compromisable_nodes()
+    if not victims:
+        raise ScenarioError("no compromisable nodes")
+    offset = offset_us if offset_us is not None \
+        else 3 * system.workload.period
+    return Scenario(
+        name="rogue_clock",
+        description=f"{victims[0]}'s clock pinned {offset}us off",
+        script=FaultScript([Injection(_fault_time(system), victims[0],
+                                      RogueClockFault(offset_us=offset))]),
+        link_script=[],
+    )
+
+
+def link_death(system) -> Scenario:
+    """The busiest data link dies (outside the node-fault model; E16)."""
+    plan = system.strategy.nominal
+    load: Dict[str, int] = {}
+    for route in plan.routes.values():
+        for a, b in zip(route[:-1], route[1:]):
+            link = system.topology.link_between(a, b)
+            load[link.link_id] = load.get(link.link_id, 0) + 1
+    if not load:
+        raise ScenarioError("no inter-node flows to disrupt")
+    busiest = max(sorted(load), key=lambda l: load[l])
+    return Scenario(
+        name="link_death",
+        description=f"link {busiest} loses every frame",
+        script=FaultScript([]),
+        link_script=[(_fault_time(system), busiest, 1.0)],
+    )
+
+
+SCENARIOS: Dict[str, Callable] = {
+    "single_commission": lambda s: single_fault(s, "commission"),
+    "single_crash": lambda s: single_fault(s, "crash"),
+    "single_omission": lambda s: single_fault(s, "omission"),
+    "checker_host_crash": checker_host_crash,
+    "paced_double": paced_double,
+    "flood_plus_fault": flood_plus_fault,
+    "rogue_clock": rogue_clock,
+    "link_death": link_death,
+}
+
+
+def stage(name: str, system) -> Scenario:
+    """Stage a named scenario on a prepared system."""
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown scenario {name!r}; choose from "
+            f"{', '.join(sorted(SCENARIOS))}"
+        ) from None
+    return factory(system)

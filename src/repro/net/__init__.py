@@ -1,0 +1,35 @@
+"""Network substrate: topologies, static routing, bandwidth reservation."""
+
+from .reservation import PathReservation, ReservationManager
+from .routing import Router, RoutingError
+from .topology import (
+    DEFAULT_BANDWIDTH,
+    DEFAULT_PROPAGATION,
+    Topology,
+    TopologyError,
+    bus_topology,
+    dual_star_topology,
+    full_mesh_topology,
+    line_topology,
+    mesh_topology,
+    ring_topology,
+    star_topology,
+)
+
+__all__ = [
+    "PathReservation",
+    "ReservationManager",
+    "Router",
+    "RoutingError",
+    "DEFAULT_BANDWIDTH",
+    "DEFAULT_PROPAGATION",
+    "Topology",
+    "TopologyError",
+    "bus_topology",
+    "dual_star_topology",
+    "full_mesh_topology",
+    "line_topology",
+    "mesh_topology",
+    "ring_topology",
+    "star_topology",
+]

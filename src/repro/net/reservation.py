@@ -1,0 +1,150 @@
+"""Per-path bandwidth reservation and admission control.
+
+The planner turns each flow placement into a set of per-hop lane
+reservations. A reservation of ``bits_per_period`` along a path requires, on
+every hop, a lane share of at least::
+
+    share = headroom * bits_per_period / (bandwidth_bps * period_seconds)
+
+Shares for the same ``(link, sender, traffic class)`` accumulate across
+flows; admission fails (``ReservationError``) if any link would exceed its
+capacity — this is exactly the static-allocation discipline that makes CPS
+network timing predictable and defeats babbling idiots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..sim.link import ReservationError
+from ..sim.message import MessageKind
+from .routing import Router
+from .topology import Topology
+
+
+@dataclass
+class PathReservation:
+    """A granted reservation: the hops and the share charged on each."""
+
+    src: str
+    dst: str
+    kind: MessageKind
+    path: List[str]
+    share_per_hop: float
+    bits_per_period: int
+
+
+class ReservationManager:
+    """Tracks cumulative lane shares and performs admission control."""
+
+    #: Default multiplicative headroom over the mean rate, covering burstiness
+    #: within a period (a whole message is sent back-to-back, not smoothly).
+    DEFAULT_HEADROOM = 2.0
+
+    def __init__(self, topology: Topology, router: Router,
+                 headroom: float = DEFAULT_HEADROOM) -> None:
+        if headroom < 1.0:
+            raise ValueError("headroom must be >= 1.0")
+        self.topology = topology
+        self.router = router
+        self.headroom = headroom
+        # (link_id, sender, kind) -> cumulative share
+        self._shares: Dict[Tuple[str, str, MessageKind], float] = {}
+        self._reservations: List[PathReservation] = []
+
+    # ------------------------------------------------------------ internal
+
+    def _required_share(self, link_id: str, bits_per_period: int,
+                        period: int) -> float:
+        link = self.topology.links[link_id]
+        period_seconds = period / 1e6
+        mean_rate = bits_per_period / period_seconds  # bits per second
+        return self.headroom * mean_rate / link.bandwidth_bps
+
+    # -------------------------------------------------------------- public
+
+    def reserve_path(
+        self,
+        src: str,
+        dst: str,
+        kind: MessageKind,
+        bits_per_period: int,
+        period: int,
+        excluding: set | None = None,
+    ) -> PathReservation:
+        """Reserve capacity for ``bits_per_period`` of ``kind`` traffic from
+        ``src`` to ``dst`` each period. Raises ReservationError if any hop
+        lacks capacity (nothing is committed in that case)."""
+        path = self.router.route(src, dst, excluding)
+        hops = list(zip(path[:-1], path[1:]))
+        # Two-phase: compute all increments first, then commit.
+        increments: List[Tuple[str, str, float]] = []
+        max_share = 0.0
+        for sender, receiver in hops:
+            link = self.topology.link_between(sender, receiver)
+            share = self._required_share(link.link_id, bits_per_period, period)
+            max_share = max(max_share, share)
+            key = (link.link_id, sender, kind)
+            current = self._shares.get(key, 0.0)
+            new_share = current + share
+            # Tentatively validate against the link's remaining capacity.
+            existing_lane = link.lane(sender, kind)
+            existing_share = existing_lane.share if existing_lane else 0.0
+            projected = (link.allocated_fraction - existing_share + new_share)
+            if projected > 1.0 + 1e-9:
+                raise ReservationError(
+                    f"link {link.link_id} cannot admit +{share:.4f} "
+                    f"for ({sender}, {kind.value}): "
+                    f"would reach {projected:.4f}"
+                )
+            increments.append((link.link_id, sender, share))
+        for link_id, sender, share in increments:
+            key = (link_id, sender, kind)
+            self._shares[key] = self._shares.get(key, 0.0) + share
+            self.topology.links[link_id].allocate_lane(
+                sender, kind, self._shares[key]
+            )
+        reservation = PathReservation(
+            src=src, dst=dst, kind=kind, path=path,
+            share_per_hop=max_share, bits_per_period=bits_per_period,
+        )
+        self._reservations.append(reservation)
+        return reservation
+
+    def reserve_control_plane(self, share: float,
+                              kinds: tuple[MessageKind, ...] = (
+                                  MessageKind.EVIDENCE, MessageKind.CONTROL,
+                              )) -> None:
+        """Reserve a fixed share on *every* link, for *every* attached
+        sender, for control-plane traffic (evidence distribution and mode
+        coordination). The paper: "reserving some amount of computation and
+        bandwidth for evidence distribution" (§4.3)."""
+        for link in self.topology.links.values():
+            per_kind = share / len(kinds)
+            for sender in link.endpoints:
+                for kind in kinds:
+                    key = (link.link_id, sender, kind)
+                    if self._shares.get(key, 0.0) >= per_kind:
+                        continue
+                    self._shares[key] = per_kind
+                    link.allocate_lane(sender, kind, per_kind)
+
+    def release_all(self) -> None:
+        """Release every data-plane reservation (used on mode change)."""
+        for (link_id, sender, kind) in list(self._shares):
+            if kind == MessageKind.DATA or kind == MessageKind.STATE:
+                self.topology.links[link_id].release_lane(sender, kind)
+                del self._shares[(link_id, sender, kind)]
+        self._reservations = [
+            r for r in self._reservations
+            if r.kind not in (MessageKind.DATA, MessageKind.STATE)
+        ]
+
+    def total_share(self, link_id: str) -> float:
+        return sum(share for (lid, _, _), share in self._shares.items()
+                   if lid == link_id)
+
+    @property
+    def reservations(self) -> List[PathReservation]:
+        return list(self._reservations)

@@ -1,0 +1,77 @@
+"""Discrete-event simulation substrate for the BTR reproduction.
+
+Public surface:
+
+* :class:`Simulator` — deterministic event engine (integer-µs time).
+* :class:`Node`, :class:`CpuLane` — processing resources with reservations.
+* :class:`Link`, :class:`Lane` — guarded-bandwidth links.
+* :class:`Message`, :class:`MessageKind` — traffic.
+* :class:`LocalClock`, :class:`ClockSync` — bounded-drift clocks.
+* :class:`Trace` and event dataclasses — the observable record of a run.
+* time helpers (:func:`seconds`, :func:`ms`, :func:`us`, constants).
+"""
+
+from .clock import ClockSync, LocalClock
+from .engine import EventHandle, SimulationError, Simulator
+from .link import Lane, Link, ReservationError
+from .message import Message, MessageKind
+from .node import CpuLane, Node
+from .random import DeterministicRandom
+from .time import MS, NEVER, S, US, format_time, ms, seconds, to_seconds, us
+from .trace import (
+    Custom,
+    EvidenceAccepted,
+    EvidenceGenerated,
+    EvidenceRejected,
+    FaultInjected,
+    MessageDelivered,
+    MessageDropped,
+    MessageSent,
+    ModeSwitchCompleted,
+    ModeSwitchStarted,
+    OutputProduced,
+    TaskExecuted,
+    TaskShed,
+    Trace,
+    TraceEvent,
+)
+
+__all__ = [
+    "ClockSync",
+    "LocalClock",
+    "EventHandle",
+    "SimulationError",
+    "Simulator",
+    "Lane",
+    "Link",
+    "ReservationError",
+    "Message",
+    "MessageKind",
+    "CpuLane",
+    "Node",
+    "DeterministicRandom",
+    "MS",
+    "NEVER",
+    "S",
+    "US",
+    "format_time",
+    "ms",
+    "seconds",
+    "to_seconds",
+    "us",
+    "Custom",
+    "EvidenceAccepted",
+    "EvidenceGenerated",
+    "EvidenceRejected",
+    "FaultInjected",
+    "MessageDelivered",
+    "MessageDropped",
+    "MessageSent",
+    "ModeSwitchCompleted",
+    "ModeSwitchStarted",
+    "OutputProduced",
+    "TaskExecuted",
+    "TaskShed",
+    "Trace",
+    "TraceEvent",
+]

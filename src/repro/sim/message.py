@@ -1,0 +1,70 @@
+"""Message and frame types exchanged between nodes.
+
+Messages are the unit of transmission on links. Every message carries an
+explicit size in bits — bandwidth accounting is exact, which is what lets the
+planner reserve link capacity and the evidence distributor guarantee a
+bounded distribution time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional
+
+
+class MessageKind(Enum):
+    """Coarse traffic classes, used for bandwidth reservation lanes."""
+
+    DATA = "data"           # workload dataflow traffic
+    EVIDENCE = "evidence"   # fault evidence distribution (control plane)
+    STATE = "state"         # task state transfer during mode changes
+    CONTROL = "control"     # mode-change coordination, heartbeats
+    BOGUS = "bogus"         # adversarial junk (classified on inspection)
+
+
+_message_ids = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """A unicast message between two nodes.
+
+    Attributes
+    ----------
+    src, dst:
+        Node identifiers (strings). ``dst`` is the *final* destination;
+        multi-hop routing re-transmits the same message per hop.
+    kind:
+        Traffic class (determines which bandwidth lane is charged).
+    payload:
+        Arbitrary application content. Must be treated as opaque by the
+        network layers.
+    size_bits:
+        Wire size, including headers and signatures.
+    flow:
+        Dataflow-graph flow name for DATA traffic, else None.
+    signature:
+        Optional (signer, tag) pair attached by :mod:`repro.crypto`.
+    """
+
+    src: str
+    dst: str
+    kind: MessageKind
+    payload: Any
+    size_bits: int
+    flow: Optional[str] = None
+    signature: Optional[tuple] = None
+    #: Sender's local-clock timestamp at send time (for timing checks).
+    sent_at_local: Optional[int] = None
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+
+    def sized(self, extra_bits: int) -> "Message":
+        """Return a copy with ``extra_bits`` added to the wire size."""
+        copy = Message(
+            src=self.src, dst=self.dst, kind=self.kind, payload=self.payload,
+            size_bits=self.size_bits + extra_bits, flow=self.flow,
+            signature=self.signature, sent_at_local=self.sent_at_local,
+        )
+        return copy

@@ -1,0 +1,163 @@
+"""Structured trace recording.
+
+Every observable event in a run — message sends/deliveries, task executions,
+sink outputs, faults, evidence, mode switches — is appended to a single
+:class:`Trace`. The trace is the ground truth that the analysis layer (the
+Definition 3.1 checker, latency decompositions, metrics) consumes; nothing in
+the analysis peeks at simulator internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, List, Optional, Type, TypeVar
+
+
+@dataclass
+class TraceEvent:
+    """Base class: every event has a simulated timestamp (µs)."""
+
+    time: int
+
+
+@dataclass
+class MessageSent(TraceEvent):
+    src: str
+    dst: str
+    kind: str
+    size_bits: int
+    flow: Optional[str] = None
+
+
+@dataclass
+class MessageDelivered(TraceEvent):
+    src: str
+    dst: str
+    kind: str
+    flow: Optional[str] = None
+
+
+@dataclass
+class MessageDropped(TraceEvent):
+    src: str
+    dst: str
+    kind: str
+    reason: str = "loss"
+
+
+@dataclass
+class TaskExecuted(TraceEvent):
+    node: str
+    task: str
+    period_index: int
+    duration: int
+
+
+@dataclass
+class OutputProduced(TraceEvent):
+    """A value delivered to a sink — the unit of external correctness."""
+
+    sink: str
+    flow: str
+    period_index: int
+    value: Any
+    deadline: int
+    criticality: str
+
+
+@dataclass
+class FaultInjected(TraceEvent):
+    node: str
+    fault_kind: str
+
+
+@dataclass
+class EvidenceGenerated(TraceEvent):
+    detector_node: str
+    accused_node: str
+    fault_kind: str
+    evidence_id: int
+
+
+@dataclass
+class EvidenceAccepted(TraceEvent):
+    node: str
+    accused_node: str
+    evidence_id: int
+
+
+@dataclass
+class EvidenceRejected(TraceEvent):
+    node: str
+    claimed_signer: str
+    reason: str
+
+
+@dataclass
+class ModeSwitchStarted(TraceEvent):
+    node: str
+    from_mode: str
+    to_mode: str
+
+
+@dataclass
+class ModeSwitchCompleted(TraceEvent):
+    node: str
+    mode: str
+
+
+@dataclass
+class TaskShed(TraceEvent):
+    task: str
+    criticality: str
+    mode: str
+
+
+@dataclass
+class Custom(TraceEvent):
+    label: str
+    data: dict = field(default_factory=dict)
+
+
+E = TypeVar("E", bound=TraceEvent)
+
+
+class Trace:
+    """An append-only, time-ordered event log for one run."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+
+    def record(self, event: TraceEvent) -> None:
+        if self._events and event.time < self._events[-1].time:
+            # Events are produced by the engine in time order; a violation
+            # indicates a bug in the producer, not the trace.
+            raise ValueError(
+                f"out-of-order trace event at {event.time} "
+                f"(last was {self._events[-1].time})"
+            )
+        self._events.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def of_kind(self, kind: Type[E]) -> List[E]:
+        """All events of exactly the given type, in time order."""
+        return [e for e in self._events if type(e) is kind]
+
+    def between(self, start: int, end: int) -> List[TraceEvent]:
+        """Events with start ≤ time < end."""
+        return [e for e in self._events if start <= e.time < end]
+
+    def outputs(self) -> List[OutputProduced]:
+        return self.of_kind(OutputProduced)
+
+    def faults(self) -> List[FaultInjected]:
+        return self.of_kind(FaultInjected)
+
+    def last(self, kind: Type[E]) -> Optional[E]:
+        events = self.of_kind(kind)
+        return events[-1] if events else None

@@ -1,0 +1,29 @@
+"""Workload model: periodic dataflow graphs with criticality and deadlines."""
+
+from .criticality import Criticality
+from .dataflow import DataflowGraph, Flow, WorkloadError
+from .generators import (
+    automotive_workload,
+    avionics_workload,
+    industrial_workload,
+    pipeline_workload,
+    power_grid_workload,
+    random_workload,
+)
+from .task import Task, compute_output, sensor_reading
+
+__all__ = [
+    "Criticality",
+    "DataflowGraph",
+    "Flow",
+    "WorkloadError",
+    "Task",
+    "compute_output",
+    "sensor_reading",
+    "automotive_workload",
+    "avionics_workload",
+    "industrial_workload",
+    "pipeline_workload",
+    "power_grid_workload",
+    "random_workload",
+]

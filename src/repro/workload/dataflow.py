@@ -1,0 +1,248 @@
+"""The periodic dataflow-graph workload model.
+
+Matches the paper's workload assumption (§2.1): "a static, periodic workload
+that can be described as a dataflow graph. The system has a period P and
+releases a set of tasks during each period. Each task requires some inputs
+from the sources and/or from other tasks, and it sends at least one output to
+a sink or another task. Each output has a criticality level and a deadline by
+which it must arrive at the appropriate sink."
+
+Endpoints of a flow are task names, source names, or sink names. Sources and
+sinks are *interface points to the physical world*; which node hosts them is
+part of the deployment (see :mod:`repro.net.topology`), not the workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from .criticality import Criticality
+from .task import Task
+
+
+class WorkloadError(Exception):
+    """Raised for structurally invalid dataflow graphs."""
+
+
+@dataclass(frozen=True)
+class Flow:
+    """A directed data dependency.
+
+    ``src`` is a source name or task name; ``dst`` is a task name or sink
+    name. Flows to sinks carry a hard ``deadline`` (µs, relative to the
+    period release) and a criticality; internal flows inherit criticality
+    from their producer and have no external deadline.
+    """
+
+    name: str
+    src: str
+    dst: str
+    size_bits: int = 512
+    deadline: Optional[int] = None
+    criticality: Optional[Criticality] = None
+
+    def __post_init__(self) -> None:
+        if self.size_bits <= 0:
+            raise ValueError(f"flow {self.name}: size_bits must be positive")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"flow {self.name}: deadline must be positive")
+
+
+class DataflowGraph:
+    """A static periodic workload: tasks, flows, sources, and sinks."""
+
+    def __init__(
+        self,
+        period: int,
+        tasks: Iterable[Task],
+        flows: Iterable[Flow],
+        sources: Iterable[str],
+        sinks: Iterable[str],
+        name: str = "workload",
+    ) -> None:
+        if period <= 0:
+            raise WorkloadError("period must be positive")
+        self.name = name
+        self.period = period
+        self.tasks: Dict[str, Task] = {}
+        for task in tasks:
+            if task.name in self.tasks:
+                raise WorkloadError(f"duplicate task name: {task.name}")
+            self.tasks[task.name] = task
+        self.sources: Set[str] = set(sources)
+        self.sinks: Set[str] = set(sinks)
+        self.flows: List[Flow] = list(flows)
+        self._flows_by_name: Dict[str, Flow] = {}
+        for flow in self.flows:
+            if flow.name in self._flows_by_name:
+                raise WorkloadError(f"duplicate flow name: {flow.name}")
+            self._flows_by_name[flow.name] = flow
+        self.validate()
+
+    # ---------------------------------------------------------- validation
+
+    def validate(self) -> None:
+        """Check the structural invariants from the paper's workload model."""
+        names = set(self.tasks)
+        overlap = (names & self.sources) | (names & self.sinks) | (
+            self.sources & self.sinks
+        )
+        if overlap:
+            raise WorkloadError(f"names used in multiple roles: {overlap}")
+
+        for flow in self.flows:
+            if flow.src not in names and flow.src not in self.sources:
+                raise WorkloadError(
+                    f"flow {flow.name}: unknown src {flow.src!r}"
+                )
+            if flow.dst not in names and flow.dst not in self.sinks:
+                raise WorkloadError(
+                    f"flow {flow.name}: unknown dst {flow.dst!r}"
+                )
+            if flow.src in self.sources and flow.dst in self.sinks:
+                raise WorkloadError(
+                    f"flow {flow.name}: direct source-to-sink flow"
+                )
+            if flow.dst in self.sinks and flow.deadline is None:
+                raise WorkloadError(
+                    f"flow {flow.name}: sink flow needs a deadline"
+                )
+            if flow.deadline is not None and flow.deadline > self.period:
+                raise WorkloadError(
+                    f"flow {flow.name}: deadline {flow.deadline} exceeds "
+                    f"period {self.period} (constrained-deadline model)"
+                )
+
+        for task in self.tasks.values():
+            if not self.outputs_of(task.name):
+                raise WorkloadError(
+                    f"task {task.name} has no outputs (paper: every task "
+                    f"sends at least one output)"
+                )
+
+        self.topological_order()  # raises on cycles
+
+    # ------------------------------------------------------------- queries
+
+    def flow(self, name: str) -> Flow:
+        return self._flows_by_name[name]
+
+    def inputs_of(self, task_name: str) -> List[Flow]:
+        """Flows consumed by ``task_name``."""
+        return [f for f in self.flows if f.dst == task_name]
+
+    def outputs_of(self, task_name: str) -> List[Flow]:
+        """Flows produced by ``task_name``."""
+        return [f for f in self.flows if f.src == task_name]
+
+    def sink_flows(self) -> List[Flow]:
+        """Flows whose destination is a physical-world sink."""
+        return [f for f in self.flows if f.dst in self.sinks]
+
+    def source_flows(self) -> List[Flow]:
+        return [f for f in self.flows if f.src in self.sources]
+
+    def flow_criticality(self, flow: Flow) -> Criticality:
+        """Effective criticality of a flow (explicit, else producer's)."""
+        if flow.criticality is not None:
+            return flow.criticality
+        producer = self.tasks.get(flow.src)
+        if producer is not None:
+            return producer.criticality
+        consumer = self.tasks.get(flow.dst)
+        return consumer.criticality if consumer else Criticality.B
+
+    def topological_order(self) -> List[str]:
+        """Task names in dependency order; raises WorkloadError on cycles."""
+        indegree = {name: 0 for name in self.tasks}
+        successors: Dict[str, List[str]] = {name: [] for name in self.tasks}
+        for flow in self.flows:
+            if flow.src in self.tasks and flow.dst in self.tasks:
+                indegree[flow.dst] += 1
+                successors[flow.src].append(flow.dst)
+        ready = sorted(name for name, deg in indegree.items() if deg == 0)
+        order: List[str] = []
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            changed = False
+            for succ in successors[current]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    ready.append(succ)
+                    changed = True
+            if changed:
+                ready.sort()
+        if len(order) != len(self.tasks):
+            raise WorkloadError("dataflow graph has a cycle")
+        return order
+
+    def upstream_closure(self, task_name: str) -> Set[str]:
+        """All tasks that ``task_name`` transitively depends on (incl. self)."""
+        result: Set[str] = set()
+        frontier = [task_name]
+        while frontier:
+            current = frontier.pop()
+            if current in result or current not in self.tasks:
+                continue
+            result.add(current)
+            for flow in self.inputs_of(current):
+                frontier.append(flow.src)
+        return result
+
+    def tasks_feeding_sink_flow(self, flow: Flow) -> Set[str]:
+        """Tasks whose execution is required for a given sink flow."""
+        if flow.src not in self.tasks:
+            return set()
+        return self.upstream_closure(flow.src)
+
+    def total_wcet(self) -> int:
+        return sum(t.wcet for t in self.tasks.values())
+
+    def utilization(self, node_count: int, speed: float = 1.0) -> float:
+        """Aggregate CPU demand per period as a fraction of total capacity."""
+        capacity = node_count * speed * self.period
+        return self.total_wcet() / capacity if capacity else float("inf")
+
+    def restricted_to(self, keep_tasks: Set[str], name: Optional[str] = None
+                      ) -> "DataflowGraph":
+        """A sub-workload containing only ``keep_tasks`` and flows between
+        them (plus their source/sink flows). Used by criticality shedding.
+
+        Tasks whose every consumer was shed end up with no outputs, which
+        violates the workload model ("each task sends at least one
+        output"); such tasks are pruned too, iterating to a fixpoint
+        because each removal can orphan producers further upstream. A
+        pruned task can never feed a kept sink flow (it had no outputs),
+        so kept outputs are unaffected.
+        """
+        keep = set(keep_tasks)
+        while True:
+            flows = [
+                f for f in self.flows
+                if (f.src in keep or f.src in self.sources)
+                and (f.dst in keep or f.dst in self.sinks)
+            ]
+            producing = {f.src for f in flows}
+            orphaned = keep - producing
+            if not orphaned:
+                break
+            keep -= orphaned
+        tasks = [t for n, t in self.tasks.items() if n in keep]
+        used_sources = {f.src for f in flows if f.src in self.sources}
+        used_sinks = {f.dst for f in flows if f.dst in self.sinks}
+        return DataflowGraph(
+            period=self.period,
+            tasks=tasks,
+            flows=flows,
+            sources=used_sources,
+            sinks=used_sinks,
+            name=name or f"{self.name}|restricted",
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DataflowGraph({self.name}, P={self.period}us, "
+            f"{len(self.tasks)} tasks, {len(self.flows)} flows)"
+        )

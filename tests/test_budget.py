@@ -1,0 +1,92 @@
+"""Unit tests for recovery-budget accounting (R := D/f and friends)."""
+
+import pytest
+
+from repro import BTRConfig, BTRSystem
+from repro.core.runtime.budget import (
+    compute_budget,
+    detection_bound,
+    distribution_bound,
+    recovery_bound_for_deadline,
+)
+from repro.net import Router, full_mesh_topology, line_topology, ring_topology
+from repro.sched import LaneModel
+from repro.sim import ms, seconds
+from repro.workload import industrial_workload
+
+
+def test_r_equals_d_over_f():
+    assert recovery_bound_for_deadline(seconds(10), 1) == seconds(10)
+    assert recovery_bound_for_deadline(seconds(10), 2) == seconds(5)
+    assert recovery_bound_for_deadline(seconds(9), 4) == 2_250_000
+
+
+def test_r_rule_rejects_nonsense():
+    with pytest.raises(ValueError):
+        recovery_bound_for_deadline(0, 1)
+    with pytest.raises(ValueError):
+        recovery_bound_for_deadline(seconds(1), 0)
+
+
+def test_distribution_bound_grows_with_diameter():
+    config = BTRConfig(f=1)
+    mesh = full_mesh_topology(7, bandwidth=1e8)      # diameter 1
+    ring = ring_topology(7, bandwidth=1e8)           # diameter 3
+    line = line_topology(7, bandwidth=1e8)           # diameter 6
+    bounds = [
+        distribution_bound(topo, LaneModel(topo), config)
+        for topo in (mesh, ring, line)
+    ]
+    assert bounds[0] < bounds[1] < bounds[2]
+
+
+def test_distribution_bound_shrinks_with_bandwidth():
+    config = BTRConfig(f=1)
+    slow = ring_topology(6, bandwidth=1e6)
+    fast = ring_topology(6, bandwidth=1e9)
+    assert (distribution_bound(fast, LaneModel(fast), config)
+            < distribution_bound(slow, LaneModel(slow), config))
+
+
+def test_detection_bound_dominated_by_omission_accumulation():
+    period = ms(50)
+    config = BTRConfig(f=1, blame_slot_threshold=3)
+    bound = detection_bound(period, config)
+    assert bound >= 3 * period  # slot accumulation dominates
+    tighter = detection_bound(period, BTRConfig(f=1, blame_slot_threshold=1))
+    assert tighter < bound
+
+
+def test_compute_budget_components_positive_and_consistent():
+    system = BTRSystem(industrial_workload(),
+                       full_mesh_topology(7, bandwidth=1e8),
+                       BTRConfig(f=1, seed=1))
+    budget = system.prepare()
+    assert budget.detection_us > 0
+    assert budget.distribution_us > 0
+    assert budget.switch_us > budget.distribution_us  # lead + period
+    assert budget.settling_us >= industrial_workload().period
+    assert budget.total_us == (budget.detection_us + budget.distribution_us
+                               + budget.switch_us + budget.settling_us)
+
+
+def test_explicit_switch_lead_overrides_derivation():
+    system = BTRSystem(industrial_workload(),
+                       full_mesh_topology(7, bandwidth=1e8),
+                       BTRConfig(f=1, seed=1, switch_lead_us=ms(40)))
+    system.prepare()
+    assert system.switch_lead_us == ms(40)
+
+
+def test_settling_includes_worst_state_transfer():
+    # A strategy whose transitions move big state must budget more
+    # settling than one whose transitions move nothing.
+    topo = full_mesh_topology(7, bandwidth=1e8)
+    system = BTRSystem(industrial_workload(), topo, BTRConfig(f=1, seed=1))
+    system.prepare()
+    lane_model = system.lane_model
+    budget = compute_budget(system.strategy, topo, lane_model,
+                            system.router, system.config)
+    worst_bits = system.strategy.max_transition_state_bits()
+    if worst_bits:
+        assert budget.settling_us > industrial_workload().period

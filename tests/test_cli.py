@@ -1,0 +1,97 @@
+"""Tests for the command-line interface (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import main, make_topology
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+# ----------------------------------------------------------------- topology
+
+
+def test_make_topology_specs():
+    assert len(make_topology("fullmesh:5", 1e8).nodes) == 5
+    assert len(make_topology("ring:6", 1e8).nodes) == 6
+    assert len(make_topology("mesh:2x3", 1e8).nodes) == 6
+    assert len(make_topology("dualstar:4", 1e8).nodes) == 6
+    assert len(make_topology("bus:4", 1e8).nodes) == 4
+
+
+def test_make_topology_rejects_unknown():
+    with pytest.raises(SystemExit):
+        make_topology("torus:9", 1e8)
+
+
+# --------------------------------------------------------------------- plan
+
+
+def test_cli_plan(capsys):
+    code, out = run_cli(capsys, "plan", "--workload", "industrial",
+                        "--topology", "fullmesh:7")
+    assert code == 0
+    assert "nominal" in out
+    assert "faulty:" in out
+    assert "recovery budget" in out
+
+
+def test_cli_plan_avionics_shows_criticality(capsys):
+    code, out = run_cli(capsys, "plan", "--workload", "avionics",
+                        "--topology", "fullmesh:8", "--bandwidth", "2e8")
+    assert code == 0
+    assert "ABCD" in out
+
+
+# ---------------------------------------------------------------------- run
+
+
+def test_cli_run_fault_free(capsys):
+    code, out = run_cli(capsys, "run", "--periods", "10")
+    assert code == 0
+    assert "Definition 3.1 holds" in out
+    assert "True" in out
+    assert "0.000s" in out  # no recovery needed
+
+
+def test_cli_run_with_fault(capsys):
+    code, out = run_cli(capsys, "run", "--periods", "24",
+                        "--fault", "commission", "--fault-at", "0.22")
+    assert code == 0  # BTR holds -> exit 0
+    assert "1 faults" in out
+
+
+def test_cli_run_rejects_unknown_fault(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "--fault", "gremlins"])
+
+
+# ------------------------------------------------------------------ compare
+
+
+def test_cli_compare(capsys):
+    code, out = run_cli(capsys, "compare", "--periods", "16",
+                        "--fault", "crash")
+    assert code == 0
+    for name in ("btr", "unreplicated", "bft", "zz", "selfstab",
+                 "crash_restart"):
+        assert name in out
+    assert "recovery" in out
+
+
+def test_cli_requires_command(capsys):
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_cli_plan_export(tmp_path, capsys):
+    out_file = tmp_path / "strategy.json"
+    code, out = run_cli(capsys, "plan", "--export", str(out_file))
+    assert code == 0
+    assert "strategy written" in out
+    from repro.core.planner import strategy_from_json
+    restored = strategy_from_json(out_file.read_text())
+    assert len(restored) >= 1

@@ -1,0 +1,121 @@
+"""Tests for the simulated signature scheme and cost model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto import (
+    AuthenticatedStatement,
+    CryptoCosts,
+    KeyDirectory,
+    Signature,
+    SignatureError,
+    canonical_bytes,
+    digest,
+)
+
+
+@pytest.fixture
+def directory():
+    d = KeyDirectory(master_seed=7)
+    for node in ("a", "b", "c"):
+        d.register(node)
+    return d
+
+
+def test_sign_verify_roundtrip(directory):
+    payload = {"flow": "f1", "value": 42, "period": 3}
+    sig = directory.sign("a", payload)
+    assert directory.verify(payload, sig)
+
+
+def test_tampered_payload_rejected(directory):
+    payload = {"value": 42}
+    sig = directory.sign("a", payload)
+    assert not directory.verify({"value": 43}, sig)
+
+
+def test_wrong_signer_rejected(directory):
+    payload = {"value": 42}
+    sig = directory.sign("a", payload)
+    claimed = Signature(signer="b", tag=sig.tag)
+    assert not directory.verify(payload, claimed)
+
+
+def test_unknown_signer_cannot_sign(directory):
+    with pytest.raises(SignatureError):
+        directory.sign("ghost", {"x": 1})
+
+
+def test_unknown_signer_never_verifies(directory):
+    sig = Signature(signer="ghost", tag="00" * 32)
+    assert not directory.verify({"x": 1}, sig)
+
+
+def test_forged_signature_rejected(directory):
+    payload = {"accused": "b", "fault": "commission"}
+    forged = directory.forge("c", payload)
+    assert forged.signer == "c"
+    assert not directory.verify(payload, forged)
+
+
+def test_register_is_idempotent(directory):
+    payload = {"x": 1}
+    sig = directory.sign("a", payload)
+    directory.register("a")
+    assert directory.verify(payload, sig)
+
+
+def test_keys_deterministic_across_directories():
+    d1 = KeyDirectory(master_seed=5)
+    d2 = KeyDirectory(master_seed=5)
+    d1.register("n")
+    d2.register("n")
+    payload = {"v": 9}
+    assert d2.verify(payload, d1.sign("n", payload))
+
+
+def test_different_master_seeds_do_not_cross_verify():
+    d1 = KeyDirectory(master_seed=5)
+    d2 = KeyDirectory(master_seed=6)
+    d1.register("n")
+    d2.register("n")
+    payload = {"v": 9}
+    assert not d2.verify(payload, d1.sign("n", payload))
+
+
+def test_canonical_bytes_is_key_order_independent():
+    assert canonical_bytes({"a": 1, "b": 2}) == canonical_bytes({"b": 2, "a": 1})
+
+
+def test_canonical_bytes_rejects_exotic_objects():
+    with pytest.raises(TypeError):
+        canonical_bytes({"x": object()})
+
+
+@given(st.dictionaries(st.text(max_size=8),
+                       st.integers() | st.text(max_size=8), max_size=5))
+def test_property_any_json_payload_roundtrips(payload):
+    d = KeyDirectory()
+    d.register("n")
+    sig = d.sign("n", payload)
+    assert d.verify(payload, sig)
+
+
+def test_digest_stable_and_sensitive():
+    assert digest({"a": 1}) == digest({"a": 1})
+    assert digest({"a": 1}) != digest({"a": 2})
+
+
+def test_authenticated_statement(directory):
+    stmt = AuthenticatedStatement.make(directory, "b", {"claim": "late"})
+    assert stmt.signer == "b"
+    assert stmt.valid(directory)
+    assert stmt.wire_bits() > Signature.WIRE_BITS
+
+
+def test_crypto_costs_scaling():
+    costs = CryptoCosts(sign_us=100, verify_us=200, hash_us=10)
+    half = costs.scaled(0.5)
+    assert half.sign_us == 50 and half.verify_us == 100
+    with pytest.raises(ValueError):
+        costs.scaled(0)

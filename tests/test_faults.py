@@ -1,0 +1,221 @@
+"""Tests for fault behaviours, patterns, and adversary scripting."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import (
+    CommissionFault,
+    CrashFault,
+    EquivocationFault,
+    EvidenceFloodFault,
+    FaultBehavior,
+    FaultScript,
+    Injection,
+    OmissionFault,
+    PacingAdversary,
+    RandomAdversary,
+    SingleFaultAdversary,
+    TimingFault,
+    all_patterns_up_to,
+    children_of,
+    is_ancestor,
+    make_behavior,
+    mode_id,
+    parents_of,
+    pattern,
+    strategy_size,
+)
+from repro.sim import DeterministicRandom
+
+
+# ---------------------------------------------------------------- behaviors
+
+
+def test_correct_behavior_changes_nothing():
+    b = FaultBehavior()
+    assert not b.drops_message("f", 0, "n1")
+    assert b.corrupt_value("t", 0, 42) == 42
+    assert b.delay_send("f", 0) == 0
+    assert not b.suppresses_detection()
+    assert not b.fabricates_evidence()
+    assert not b.is_crash()
+
+
+def test_crash_marks_node():
+    class AgentStub:
+        class node:
+            crashed = False
+
+    b = CrashFault()
+    agent = AgentStub()
+    b.on_activate(agent)
+    assert agent.node.crashed
+    assert b.is_crash()
+
+
+def test_omission_total_silence():
+    b = OmissionFault(drop_probability=1.0)
+    assert b.drops_message("any", 0, "n1")
+
+
+def test_omission_targets_specific_flows():
+    b = OmissionFault(target_flows=frozenset({"f1"}))
+    assert b.drops_message("f1", 0, "n1")
+    assert not b.drops_message("f2", 0, "n1")
+
+
+def test_omission_probabilistic_with_rng():
+    rng = DeterministicRandom(1)
+    b = OmissionFault(drop_probability=0.5, rng=rng)
+    results = [b.drops_message("f", i, "n1") for i in range(200)]
+    assert 40 < sum(results) < 160  # roughly half
+
+
+def test_commission_corrupts_value():
+    b = CommissionFault()
+    assert b.corrupt_value("t", 0, 42) != 42
+    # Deterministic: same corruption each time (mask-based).
+    assert b.corrupt_value("t", 0, 42) == b.corrupt_value("t", 0, 42)
+
+
+def test_commission_targets_specific_tasks():
+    b = CommissionFault(target_tasks=frozenset({"t1"}))
+    assert b.corrupt_value("t1", 0, 42) != 42
+    assert b.corrupt_value("t2", 0, 42) == 42
+
+
+def test_timing_delays_without_corrupting():
+    b = TimingFault(delay_us=700)
+    assert b.delay_send("f", 0) == 700
+    assert b.corrupt_value("t", 0, 42) == 42
+
+
+def test_equivocation_splits_receivers():
+    b = EquivocationFault(lied_to=frozenset({"n2"}))
+    truth = b.corrupt_value("t", 0, 42, receiver="n1")
+    lie = b.corrupt_value("t", 0, 42, receiver="n2")
+    assert truth == 42 and lie != 42
+
+
+def test_evidence_flood_flag():
+    assert EvidenceFloodFault().fabricates_evidence()
+
+
+def test_make_behavior_known_kinds():
+    for kind in ("crash", "omission", "commission", "timing",
+                 "equivocation", "evidence_flood"):
+        assert make_behavior(kind).kind == kind
+    with pytest.raises(ValueError):
+        make_behavior("gremlins")
+
+
+# ----------------------------------------------------------------- patterns
+
+
+def test_mode_id_is_canonical():
+    assert mode_id(pattern()) == "nominal"
+    assert mode_id(pattern(["b", "a"])) == "faulty:a+b"
+    assert mode_id(frozenset({"a", "b"})) == mode_id(frozenset({"b", "a"}))
+
+
+def test_all_patterns_up_to_counts():
+    nodes = ["a", "b", "c", "d"]
+    patterns = all_patterns_up_to(nodes, 2)
+    assert len(patterns) == 1 + 4 + 6
+    assert patterns[0] == frozenset()
+    # Parents precede children.
+    for i, p in enumerate(patterns):
+        for parent in parents_of(p):
+            assert patterns.index(parent) < i
+
+
+def test_strategy_size_matches_enumeration():
+    nodes = [f"n{i}" for i in range(7)]
+    for f in range(4):
+        assert strategy_size(7, f) == len(all_patterns_up_to(nodes, f))
+
+
+def test_parents_and_children():
+    p = pattern(["a", "b"])
+    assert set(parents_of(p)) == {frozenset({"a"}), frozenset({"b"})}
+    kids = children_of(p, ["a", "b", "c", "d"])
+    assert frozenset({"a", "b", "c"}) in kids
+    assert all(len(k) == 3 for k in kids)
+
+
+def test_is_ancestor():
+    assert is_ancestor(pattern(["a"]), pattern(["a", "b"]))
+    assert not is_ancestor(pattern(["c"]), pattern(["a", "b"]))
+
+
+@given(st.sets(st.sampled_from(["a", "b", "c", "d", "e"]), max_size=3))
+def test_property_mode_id_injective_on_small_sets(nodes):
+    p = frozenset(nodes)
+    # mode_id must round-trip: distinct patterns -> distinct ids.
+    reconstructed = (frozenset() if mode_id(p) == "nominal"
+                     else frozenset(mode_id(p)[len("faulty:"):].split("+")))
+    assert reconstructed == p
+
+
+# ---------------------------------------------------------------- adversary
+
+
+def test_fault_script_sorts_and_rejects_double_injection():
+    script = FaultScript([
+        Injection(200, "b", CrashFault()),
+        Injection(100, "a", CrashFault()),
+    ])
+    assert [i.node for i in script] == ["a", "b"]
+    with pytest.raises(ValueError):
+        FaultScript([
+            Injection(1, "a", CrashFault()),
+            Injection(2, "a", CrashFault()),
+        ])
+
+
+def test_single_fault_adversary_defaults_to_first_candidate():
+    adv = SingleFaultAdversary(at=1000, kind="crash")
+    script = adv.script(["n2", "n1"], DeterministicRandom(0))
+    assert script.faulty_nodes == ["n1"]
+    assert script.injections[0].time == 1000
+
+
+def test_single_fault_adversary_validates_choice():
+    adv = SingleFaultAdversary(at=0, node="ghost")
+    with pytest.raises(ValueError):
+        adv.script(["n1"], DeterministicRandom(0))
+
+
+def test_pacing_adversary_spacing():
+    adv = PacingAdversary(start=1000, interval=5000, k=3, kind="crash")
+    script = adv.script(["n1", "n2", "n3", "n4"], DeterministicRandom(0))
+    times = [i.time for i in script]
+    assert times == [1000, 6000, 11000]
+    assert len(set(script.faulty_nodes)) == 3
+
+
+def test_pacing_adversary_needs_enough_victims():
+    adv = PacingAdversary(start=0, interval=1, k=5)
+    with pytest.raises(ValueError):
+        adv.script(["n1", "n2"], DeterministicRandom(0))
+
+
+def test_random_adversary_is_reproducible():
+    adv = RandomAdversary(horizon=100_000, k=3)
+    s1 = adv.script(["n1", "n2", "n3", "n4", "n5"], DeterministicRandom(9))
+    s2 = adv.script(["n1", "n2", "n3", "n4", "n5"], DeterministicRandom(9))
+    assert [(i.time, i.node, i.behavior.kind) for i in s1] == [
+        (i.time, i.node, i.behavior.kind) for i in s2]
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10**6), k=st.integers(1, 4))
+def test_property_random_adversary_respects_k_and_horizon(seed, k):
+    adv = RandomAdversary(horizon=50_000, k=k)
+    script = adv.script([f"n{i}" for i in range(6)],
+                        DeterministicRandom(seed))
+    assert len(script) == k
+    assert len(set(script.faulty_nodes)) == k
+    assert all(0 <= i.time <= 50_000 for i in script)

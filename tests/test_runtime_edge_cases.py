@@ -1,0 +1,292 @@
+"""Runtime edge cases: rogue clocks, drift, lossy links, topologies,
+state-transfer fallbacks, quotas, strategic placement."""
+
+import pytest
+
+from repro import BTRConfig, BTRSystem
+from repro.analysis import (
+    btr_verdict,
+    smallest_sufficient_R,
+    timeliness,
+)
+from repro.faults import (
+    CrashFault,
+    FaultScript,
+    Injection,
+    OmissionFault,
+    RogueClockFault,
+    SingleFaultAdversary,
+)
+from repro.net import (
+    dual_star_topology,
+    full_mesh_topology,
+    mesh_topology,
+    ring_topology,
+)
+from repro.sim import EvidenceGenerated, ModeSwitchCompleted
+from repro.workload import industrial_workload
+
+N_PERIODS = 30
+FAULT_AT = 220_000
+
+
+def make_system(topology=None, config=None, **config_kwargs):
+    system = BTRSystem(
+        industrial_workload(),
+        topology or full_mesh_topology(7, bandwidth=1e8),
+        config or BTRConfig(f=1, seed=37, **config_kwargs),
+    )
+    system.prepare()
+    return system
+
+
+# ------------------------------------------------------------------- clocks
+
+
+def test_heavy_drift_does_not_disrupt_fault_free_runs():
+    system = make_system(clock_drift_ppm=500.0)
+    result = system.run(N_PERIODS)
+    assert smallest_sufficient_R(result) == 0
+    assert not result.trace.of_kind(EvidenceGenerated)
+
+
+def test_rogue_clock_detected_and_isolated():
+    system = make_system()
+    victim = system.compromisable_nodes()[0]
+    result = system.run(N_PERIODS, FaultScript([
+        Injection(FAULT_AT, victim, RogueClockFault(offset_us=150_000)),
+    ]))
+    kinds = {e.fault_kind for e in result.trace.of_kind(EvidenceGenerated)}
+    assert "timing" in kinds
+    correct = [fs for n, fs in result.final_fault_sets.items()
+               if n != victim]
+    assert all(fs == frozenset({victim}) for fs in correct)
+
+
+def test_small_rogue_offset_goes_down_the_declaration_route():
+    # A 10 ms offset stays inside the period: not gross, so no timing
+    # evidence — but arrival anomalies pile up declarations.
+    system = make_system()
+    victim = system.compromisable_nodes()[0]
+    result = system.run(N_PERIODS, FaultScript([
+        Injection(FAULT_AT, victim, RogueClockFault(offset_us=10_000)),
+    ]))
+    kinds = {e.fault_kind for e in result.trace.of_kind(EvidenceGenerated)}
+    assert "timing" not in kinds
+    # Either attribution catches it, or the offset was harmless; in both
+    # cases no innocent is ever implicated.
+    for node, fs in result.final_fault_sets.items():
+        if node != victim:
+            assert fs <= {victim}
+
+
+# --------------------------------------------------------------- topologies
+
+
+@pytest.mark.parametrize("factory", [
+    lambda: ring_topology(7, bandwidth=1e8),
+    lambda: mesh_topology(3, 3, bandwidth=1e8),
+    lambda: dual_star_topology(6, bandwidth=1e8),
+])
+def test_recovery_on_multihop_topologies(factory):
+    system = make_system(topology=factory())
+    result = system.run(N_PERIODS, SingleFaultAdversary(
+        at=FAULT_AT, kind="commission"))
+    verdict = btr_verdict(result, R_us=system.budget.total_us)
+    assert verdict.holds, [
+        (v.flow, v.period_index, v.status) for v in verdict.violations[:5]]
+    faulty = set(result.fault_times())
+    for node, fs in result.final_fault_sets.items():
+        if node not in faulty:
+            assert fs == frozenset(faulty)
+
+
+# -------------------------------------------------------------- lossy links
+
+
+def test_residual_link_loss_is_tolerated():
+    # Post-FEC residual loss: rare drops must not trigger recovery storms.
+    topology = full_mesh_topology(7, bandwidth=1e8)
+    for link in topology.links.values():
+        link.loss_probability = 0.001
+    system = make_system(topology=topology)
+    result = system.run(N_PERIODS)
+    # No node gets implicated by sporadic losses.
+    assert all(fs == frozenset() for fs in result.final_fault_sets.values())
+    report = timeliness(result)
+    assert report.miss_rate < 0.05
+
+
+# --------------------------------------------------------- state transfer
+
+
+def test_state_rebuild_when_source_crashes_midway():
+    """Two faults: the second victim is the state source for instances
+    displaced by the first. The fetch times out and rebuild kicks in."""
+    system = BTRSystem(
+        industrial_workload(), full_mesh_topology(8, bandwidth=1e8),
+        BTRConfig(f=2, seed=37),
+    )
+    system.prepare()
+    victims = system.compromisable_nodes()[:2]
+    result = system.run(40, FaultScript([
+        Injection(FAULT_AT, victims[0], CrashFault()),
+        Injection(FAULT_AT + 150_000, victims[1], CrashFault()),
+    ]))
+    verdict = btr_verdict(result, R_us=system.budget.total_us)
+    assert verdict.holds
+    correct = [fs for n, fs in result.final_fault_sets.items()
+               if n not in victims]
+    assert all(fs == frozenset(victims) for fs in correct)
+
+
+def test_simultaneous_double_fault():
+    system = BTRSystem(
+        industrial_workload(), full_mesh_topology(9, bandwidth=1e8),
+        BTRConfig(f=2, seed=37),
+    )
+    system.prepare()
+    victims = system.compromisable_nodes()[:2]
+    result = system.run(40, FaultScript([
+        Injection(FAULT_AT, victims[0], OmissionFault()),
+        Injection(FAULT_AT, victims[1], OmissionFault()),
+    ]))
+    correct = [fs for n, fs in result.final_fault_sets.items()
+               if n not in victims]
+    # Both eventually isolated (possibly sequentially); no innocents.
+    union = set().union(*correct)
+    assert union <= set(victims)
+    assert victims[0] in union or victims[1] in union
+    # Clean at the end of the run.
+    from repro.analysis import classify_slots
+    disrupted = {s.period_index for s in classify_slots(result, R_us=0)
+                 if s.status != "correct" and not s.excused}
+    assert not disrupted & set(range(34, 40))
+
+
+# ------------------------------------------------------------------- quotas
+
+
+def test_quota_does_not_throttle_legitimate_recovery():
+    # A tiny quota must still let a real fault's evidence through
+    # (records arrive from several senders; dedup happens first).
+    system = make_system(evidence_quota_per_sender=2)
+    result = system.run(N_PERIODS, SingleFaultAdversary(
+        at=FAULT_AT, kind="crash"))
+    verdict = btr_verdict(result, R_us=system.budget.total_us)
+    assert verdict.holds
+
+
+# -------------------------------------------------------------- protections
+
+
+def test_endpoint_nodes_are_never_accused():
+    system = make_system()
+    protected = set(system.topology.endpoint_map.values())
+    result = system.run(N_PERIODS, SingleFaultAdversary(
+        at=FAULT_AT, kind="omission"))
+    for fs in result.final_fault_sets.values():
+        assert not fs & protected
+
+
+def test_strategic_placement_flag_roundtrip():
+    on = make_system(strategic_placement=True)
+    off = make_system(strategic_placement=False)
+    # On a homogeneous full mesh the exposure term is inert: identical
+    # plans either way (the flag only matters on lopsided topologies).
+    assert (on.strategy.nominal.assignment
+            == off.strategy.nominal.assignment)
+
+
+def test_mode_switches_complete_for_every_correct_node():
+    system = make_system()
+    result = system.run(N_PERIODS, SingleFaultAdversary(
+        at=FAULT_AT, kind="commission"))
+    switched = {e.node for e in result.trace.of_kind(ModeSwitchCompleted)}
+    correct = set(system.topology.nodes) - set(result.fault_times())
+    assert correct <= switched
+
+
+def test_run_can_be_repeated_on_same_system():
+    system = make_system()
+    r1 = system.run(10)
+    r2 = system.run(10)
+    assert [(o.time, o.flow, o.value) for o in r1.outputs()] == \
+           [(o.time, o.flow, o.value) for o in r2.outputs()]
+
+
+def test_task_shed_events_recorded_once_per_task():
+    """When the post-fault plan sheds criticality, the trace records each
+    shed task exactly once (E4's raw signal)."""
+    from repro.sim import TaskShed
+    from repro.workload import avionics_workload
+    from repro.faults import FaultScript, Injection, make_behavior
+    from repro.workload import Criticality
+
+    workload = avionics_workload(n_ife_channels=4, ife_wcet=5000)
+    system = BTRSystem(
+        workload, full_mesh_topology(9, bandwidth=4e8, speed=2.0),
+        BTRConfig(f=2, seed=31),
+    )
+    system.prepare()
+    shedding = next(
+        sorted(p) for p in system.strategy.patterns()
+        if len(p) == 2
+        and Criticality.D not in system.strategy.plan_for(p).kept_levels
+    )
+    script = FaultScript([
+        Injection(200_000 + i * 400_000, shedding[i],
+                  make_behavior("commission"))
+        for i in range(2)
+    ])
+    result = system.run(60, script)
+    shed_events = result.trace.of_kind(TaskShed)
+    assert shed_events, "no shedding recorded"
+    names = [e.task for e in shed_events]
+    assert len(names) == len(set(names))  # once per task
+    assert all(e.criticality in ("C", "D") for e in shed_events)
+
+
+def test_heartbeats_flood_to_all_nodes():
+    system = make_system(topology=ring_topology(7, bandwidth=1e8))
+    result = system.run(6)
+    # After a few periods, every agent holds fresh liveness for every
+    # *other* node, even non-neighbours (heartbeats flood).
+    for node_id, agent in system.agents.items():
+        for other in system.topology.nodes:
+            if other == node_id:
+                continue
+            assert agent._node_alive(other), (node_id, other)
+
+
+def test_crashed_node_liveness_decays():
+    system = make_system()
+    victim = system.compromisable_nodes()[0]
+    result = system.run(N_PERIODS, SingleFaultAdversary(
+        at=FAULT_AT, kind="crash"))
+    observer = next(n for n in system.agents if n != victim)
+    agent = system.agents[observer]
+    assert not agent._node_alive(victim)
+    # Everyone else is still fresh at the end of the run.
+    for other in system.topology.nodes:
+        if other not in (victim, observer):
+            assert agent._node_alive(other)
+
+
+def test_omission_node_that_heartbeats_is_still_isolated():
+    """A Byzantine node keeping its heartbeat while omitting data must not
+    hide behind the link-vs-node excuse forever."""
+    system = BTRSystem(
+        industrial_workload(), ring_topology(7, bandwidth=1e8),
+        BTRConfig(f=1, seed=29),
+    )
+    system.prepare()
+    victim = system.compromisable_nodes()[0]
+    result = system.run(40, FaultScript([
+        Injection(FAULT_AT, victim, OmissionFault(drop_probability=1.0)),
+    ]))
+    verdict = btr_verdict(result, R_us=system.budget.total_us)
+    assert verdict.holds
+    correct = [fs for n, fs in result.final_fault_sets.items()
+               if n != victim]
+    assert all(fs == frozenset({victim}) for fs in correct)

@@ -1,0 +1,88 @@
+"""Tests for the canned scenario library."""
+
+import pytest
+
+from repro import BTRConfig, BTRSystem
+from repro.analysis import btr_verdict, smallest_sufficient_R
+from repro.faults import SCENARIOS, ScenarioError, stage
+from repro.net import full_mesh_topology
+from repro.workload import industrial_workload
+
+
+@pytest.fixture(scope="module")
+def f1_system():
+    system = BTRSystem(industrial_workload(),
+                       full_mesh_topology(7, bandwidth=1e8),
+                       BTRConfig(f=1, seed=83))
+    system.prepare()
+    return system
+
+
+@pytest.fixture(scope="module")
+def f2_system():
+    system = BTRSystem(industrial_workload(),
+                       full_mesh_topology(9, bandwidth=1e8),
+                       BTRConfig(f=2, seed=83))
+    system.prepare()
+    return system
+
+
+def test_unknown_scenario_rejected(f1_system):
+    with pytest.raises(ScenarioError, match="unknown scenario"):
+        stage("gremlins", f1_system)
+
+
+def test_paced_double_requires_f2(f1_system):
+    with pytest.raises(ScenarioError, match="f >= 2"):
+        stage("paced_double", f1_system)
+
+
+@pytest.mark.parametrize("name", [
+    "single_commission", "single_crash", "single_omission",
+    "checker_host_crash", "rogue_clock",
+])
+def test_node_fault_scenarios_recover(f1_system, name):
+    scenario = stage(name, f1_system)
+    assert scenario.description
+    result = f1_system.run(36, scenario.script,
+                           link_script=scenario.link_script or None)
+    verdict = btr_verdict(result, R_us=f1_system.budget.total_us)
+    assert verdict.holds, (name, [
+        (v.flow, v.period_index, v.status) for v in verdict.violations[:4]])
+
+
+def test_flood_plus_fault_needs_a_two_fault_budget(f2_system):
+    """The flooder now counts against the fault budget (its endorsements
+    make it attributable), so covering fire + a real fault is a two-fault
+    attack and needs f >= 2."""
+    scenario = stage("flood_plus_fault", f2_system)
+    result = f2_system.run(48, scenario.script)
+    verdict = btr_verdict(result, R_us=f2_system.budget.total_us)
+    assert verdict.holds, [
+        (v.flow, v.period_index, v.status) for v in verdict.violations[:4]]
+    faulty = set(result.fault_times())
+    correct = [fs for n, fs in result.final_fault_sets.items()
+               if n not in faulty]
+    assert all(fs <= faulty for fs in correct)
+
+
+def test_paced_double_recovers(f2_system):
+    scenario = stage("paced_double", f2_system)
+    assert len(scenario.script) == 2
+    result = f2_system.run(60, scenario.script)
+    verdict = btr_verdict(result, R_us=f2_system.budget.total_us)
+    assert verdict.holds
+
+
+def test_link_death_is_masked_on_full_mesh(f1_system):
+    scenario = stage("link_death", f1_system)
+    assert scenario.link_script and not len(scenario.script)
+    result = f1_system.run(36, scenario.script,
+                           link_script=scenario.link_script)
+    assert smallest_sufficient_R(result) == 0  # redundancy masks it
+
+
+def test_scenarios_registry_is_complete():
+    for name in SCENARIOS:
+        assert isinstance(name, str) and name
+    assert len(SCENARIOS) >= 8

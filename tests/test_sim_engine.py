@@ -1,0 +1,171 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import NEVER, SimulationError, Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.call_at(30, lambda: order.append("c"))
+    sim.call_at(10, lambda: order.append("a"))
+    sim.call_at(20, lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_in_insertion_order():
+    sim = Simulator()
+    order = []
+    for label in "abcde":
+        sim.call_at(100, lambda label=label: order.append(label))
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_now_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.call_at(42, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [42]
+    assert sim.now == 42
+
+
+def test_call_after_is_relative():
+    sim = Simulator()
+    times = []
+    sim.call_at(100, lambda: sim.call_after(50, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [150]
+
+
+def test_run_until_stops_at_boundary_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.call_at(10, lambda: fired.append(10))
+    sim.call_at(100, lambda: fired.append(100))
+    sim.run_until(50)
+    assert fired == [10]
+    assert sim.now == 50
+    sim.run_until(200)
+    assert fired == [10, 100]
+
+
+def test_event_at_run_until_boundary_fires():
+    sim = Simulator()
+    fired = []
+    sim.call_at(50, lambda: fired.append(50))
+    sim.run_until(50)
+    assert fired == [50]
+
+
+def test_scheduling_in_past_raises():
+    sim = Simulator()
+    sim.call_at(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at(5, lambda: None)
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.call_after(-1, lambda: None)
+
+
+def test_cancellation_prevents_firing():
+    sim = Simulator()
+    fired = []
+    handle = sim.call_at(10, lambda: fired.append("x"))
+    handle.cancel()
+    sim.run()
+    assert fired == []
+    assert handle.cancelled
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.call_at(10, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run()
+
+
+def test_peek_next_time_skips_cancelled():
+    sim = Simulator()
+    h1 = sim.call_at(10, lambda: None)
+    sim.call_at(20, lambda: None)
+    h1.cancel()
+    assert sim.peek_next_time() == 20
+
+
+def test_peek_next_time_empty_is_never():
+    sim = Simulator()
+    assert sim.peek_next_time() == NEVER
+
+
+def test_pending_events_counts_live_events():
+    sim = Simulator()
+    sim.call_at(10, lambda: None)
+    h = sim.call_at(20, lambda: None)
+    h.cancel()
+    assert sim.pending_events() == 1
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    order = []
+
+    def first():
+        order.append("first")
+        sim.call_after(5, lambda: order.append("second"))
+
+    sim.call_at(10, first)
+    sim.run()
+    assert order == ["first", "second"]
+    assert sim.now == 15
+
+
+def test_events_executed_counter():
+    sim = Simulator()
+    for t in (1, 2, 3):
+        sim.call_at(t, lambda: None)
+    sim.run()
+    assert sim.events_executed == 3
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=50))
+def test_property_events_always_fire_in_nondecreasing_time(times):
+    sim = Simulator()
+    fired = []
+    for t in times:
+        sim.call_at(t, lambda t=t: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(times)
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_property_same_seed_same_rng_stream(seed):
+    a = Simulator(seed=seed)
+    b = Simulator(seed=seed)
+    assert [a.rng.random() for _ in range(5)] == [b.rng.random() for _ in range(5)]
+
+
+def test_rng_fork_is_order_independent():
+    a = Simulator(seed=7)
+    b = Simulator(seed=7)
+    # Consume some of b's parent stream first; forks must still agree.
+    b.rng.random()
+    fork_a = a.rng.fork("faults")
+    fork_b = b.rng.fork("faults")
+    assert [fork_a.random() for _ in range(3)] == [fork_b.random() for _ in range(3)]
+
+
+def test_rng_forks_with_different_labels_differ():
+    sim = Simulator(seed=7)
+    x = sim.rng.fork("x").random()
+    y = sim.rng.fork("y").random()
+    assert x != y

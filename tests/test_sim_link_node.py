@@ -1,0 +1,218 @@
+"""Unit tests for links (guarded bandwidth) and nodes (CPU lanes)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import (
+    Link,
+    Message,
+    MessageKind,
+    Node,
+    ReservationError,
+    Simulator,
+)
+
+
+def make_msg(src="a", dst="b", size=1000, kind=MessageKind.DATA):
+    return Message(src=src, dst=dst, kind=kind, payload=None, size_bits=size)
+
+
+def test_lane_allocation_respects_capacity():
+    link = Link("l1", ("a", "b"), bandwidth_bps=1e6)
+    link.allocate_lane("a", MessageKind.DATA, 0.6)
+    link.allocate_lane("b", MessageKind.DATA, 0.4)
+    with pytest.raises(ReservationError):
+        link.allocate_lane("a", MessageKind.EVIDENCE, 0.01)
+
+
+def test_lane_reallocation_replaces_share():
+    link = Link("l1", ("a", "b"), bandwidth_bps=1e6)
+    link.allocate_lane("a", MessageKind.DATA, 0.6)
+    link.allocate_lane("a", MessageKind.DATA, 0.3)  # shrink
+    assert link.allocated_fraction == pytest.approx(0.3)
+    link.allocate_lane("b", MessageKind.DATA, 0.7)
+
+
+def test_allocate_lane_for_foreign_node_raises():
+    link = Link("l1", ("a", "b"), bandwidth_bps=1e6)
+    with pytest.raises(ReservationError):
+        link.allocate_lane("c", MessageKind.DATA, 0.1)
+
+
+def test_release_lane_frees_capacity():
+    link = Link("l1", ("a", "b"), bandwidth_bps=1e6)
+    link.allocate_lane("a", MessageKind.DATA, 1.0)
+    link.release_lane("a", MessageKind.DATA)
+    link.allocate_lane("b", MessageKind.DATA, 1.0)
+
+
+def test_transmission_delay_matches_bandwidth():
+    # 1 Mbps, full share -> 1 bit per µs; 1000 bits -> 1000 µs + propagation.
+    sim = Simulator()
+    link = Link("l1", ("a", "b"), bandwidth_bps=1e6, propagation_us=10)
+    link.allocate_lane("a", MessageKind.DATA, 1.0)
+    arrivals = []
+    link.transmit(sim, make_msg(size=1000), "a", "b",
+                  deliver=lambda m, t: arrivals.append(t))
+    sim.run()
+    assert arrivals == [1010]
+
+
+def test_transmissions_serialize_on_one_lane():
+    sim = Simulator()
+    link = Link("l1", ("a", "b"), bandwidth_bps=1e6, propagation_us=0)
+    link.allocate_lane("a", MessageKind.DATA, 1.0)
+    arrivals = []
+    for _ in range(3):
+        link.transmit(sim, make_msg(size=100), "a", "b",
+                      deliver=lambda m, t: arrivals.append(t))
+    sim.run()
+    assert arrivals == [100, 200, 300]
+
+
+def test_guardian_isolates_lanes():
+    """A babbling sender cannot delay another sender's lane."""
+    sim = Simulator()
+    link = Link("bus", ("a", "b", "c"), bandwidth_bps=1e6, propagation_us=0)
+    link.allocate_lane("a", MessageKind.DATA, 0.5)
+    link.allocate_lane("b", MessageKind.DATA, 0.5)
+    # "a" babbles: floods its own lane.
+    for _ in range(100):
+        link.transmit(sim, make_msg(src="a", dst="c", size=10_000), "a", "c",
+                      deliver=lambda m, t: None)
+    arrivals = []
+    link.transmit(sim, make_msg(src="b", dst="c", size=500), "b", "c",
+                  deliver=lambda m, t: arrivals.append(t))
+    sim.run()
+    # b's 500-bit frame at 0.5 Mbps lane = 1000 µs, unaffected by a's flood.
+    assert arrivals == [1000]
+
+
+def test_transmit_without_lane_raises():
+    sim = Simulator()
+    link = Link("l1", ("a", "b"), bandwidth_bps=1e6)
+    with pytest.raises(ReservationError):
+        link.transmit(sim, make_msg(), "a", "b", deliver=lambda m, t: None)
+
+
+def test_transmit_to_non_endpoint_raises():
+    sim = Simulator()
+    link = Link("l1", ("a", "b"), bandwidth_bps=1e6)
+    link.allocate_lane("a", MessageKind.DATA, 1.0)
+    with pytest.raises(ReservationError):
+        link.transmit(sim, make_msg(dst="z"), "a", "z", deliver=lambda m, t: None)
+
+
+def test_lossy_link_drops_and_reports():
+    sim = Simulator(seed=1)
+    link = Link("l1", ("a", "b"), bandwidth_bps=1e9, loss_probability=1.0)
+    link.allocate_lane("a", MessageKind.DATA, 1.0)
+    delivered, dropped = [], []
+    link.transmit(sim, make_msg(), "a", "b",
+                  deliver=lambda m, t: delivered.append(m),
+                  on_drop=lambda m: dropped.append(m))
+    sim.run()
+    assert delivered == []
+    assert len(dropped) == 1
+
+
+def test_lossless_by_default():
+    sim = Simulator(seed=1)
+    link = Link("l1", ("a", "b"), bandwidth_bps=1e9)
+    link.allocate_lane("a", MessageKind.DATA, 1.0)
+    delivered = []
+    for _ in range(50):
+        link.transmit(sim, make_msg(), "a", "b",
+                      deliver=lambda m, t: delivered.append(m))
+    sim.run()
+    assert len(delivered) == 50
+
+
+@given(
+    size=st.integers(min_value=1, max_value=10**6),
+    share=st.floats(min_value=0.01, max_value=1.0),
+)
+def test_property_transmission_time_positive_and_monotone(size, share):
+    link = Link("l1", ("a", "b"), bandwidth_bps=1e6)
+    link.allocate_lane("a", MessageKind.DATA, share)
+    t1 = link.transmission_time("a", MessageKind.DATA, size)
+    t2 = link.transmission_time("a", MessageKind.DATA, size * 2)
+    assert t1 >= 1
+    assert t2 >= t1
+
+
+# --------------------------------------------------------------------- node
+
+
+def test_node_cpu_lane_scales_work_by_speed():
+    sim = Simulator()
+    node = Node("n1", speed=2.0, control_share=0.5)
+    # fg lane speed = 2.0 * 0.5 = 1.0 -> 100 us work takes 100 us
+    done = []
+    node.execute(sim, 100, callback=lambda: done.append(sim.now))
+    sim.run()
+    assert done == [100]
+
+
+def test_node_lanes_are_independent():
+    sim = Simulator()
+    node = Node("n1", speed=1.0, control_share=0.5)
+    done = {}
+    node.execute(sim, 50, callback=lambda: done.setdefault("fg", sim.now), lane="fg")
+    node.execute(sim, 50, callback=lambda: done.setdefault("ctrl", sim.now),
+                 lane="ctrl")
+    sim.run()
+    # Both lanes at speed 0.5 -> both complete at 100, in parallel.
+    assert done == {"fg": 100, "ctrl": 100}
+
+
+def test_node_cpu_serializes_within_lane():
+    sim = Simulator()
+    node = Node("n1", speed=1.0, control_share=0.5)  # fg speed 0.5
+    finishes = []
+    node.execute(sim, 50, callback=lambda: finishes.append(sim.now))
+    node.execute(sim, 50, callback=lambda: finishes.append(sim.now))
+    sim.run()
+    assert finishes == [100, 200]
+
+
+def test_crashed_node_drops_deliveries_and_refuses_work():
+    sim = Simulator()
+    node = Node("n1")
+    got = []
+    node.add_handler(lambda m, t: got.append(m))
+    node.crashed = True
+    node.deliver(make_msg(), 0)
+    assert got == []
+    with pytest.raises(RuntimeError):
+        node.execute(sim, 10)
+
+
+def test_attach_foreign_link_raises():
+    node = Node("n1")
+    link = Link("l1", ("a", "b"), bandwidth_bps=1e6)
+    with pytest.raises(ValueError):
+        node.attach(link)
+
+
+def test_link_to_finds_shared_link():
+    node = Node("a")
+    link = Link("l1", ("a", "b"), bandwidth_bps=1e6)
+    node.attach(link)
+    assert node.link_to("b") is link
+    assert node.link_to("z") is None
+
+
+def test_invalid_control_share_raises():
+    with pytest.raises(ValueError):
+        Node("n1", control_share=0.0)
+    with pytest.raises(ValueError):
+        Node("n1", control_share=1.0)
+
+
+def test_lane_utilization():
+    sim = Simulator()
+    node = Node("n1", speed=1.0, control_share=0.5)
+    node.execute(sim, 50)  # 100 us on fg lane at speed 0.5
+    sim.run()
+    assert node.lanes["fg"].utilization(1000) == pytest.approx(0.1)

@@ -1,0 +1,73 @@
+"""The tutorial's end-to-end flow (docs/TUTORIAL.md), pinned as a test."""
+
+from repro import BTRConfig, BTRSystem
+from repro.analysis import (
+    WaterTank,
+    btr_verdict,
+    render_timeline,
+    smallest_sufficient_R,
+    timeliness,
+)
+from repro.core.planner import strategy_from_json, strategy_to_json
+from repro.core.runtime.budget import recovery_bound_for_deadline
+from repro.faults import FaultScript, Injection, OmissionFault
+from repro.net import dual_star_topology
+from repro.sim import ms
+from repro.workload import Criticality, DataflowGraph, Flow, Task
+
+
+def tutorial_workload() -> DataflowGraph:
+    return DataflowGraph(
+        period=ms(20),
+        tasks=[
+            Task("filter", wcet=400, criticality=Criticality.A,
+                 state_bits=2048),
+            Task("control", wcet=1200, criticality=Criticality.A,
+                 state_bits=8192),
+            Task("logging", wcet=900, criticality=Criticality.C,
+                 state_bits=32768),
+        ],
+        flows=[
+            Flow("sense", src="sensor", dst="filter", size_bits=256),
+            Flow("clean", src="filter", dst="control", size_bits=512),
+            Flow("act", src="control", dst="actuator",
+                 deadline=ms(10), criticality=Criticality.A, size_bits=256),
+            Flow("log_in", src="control", dst="logging", size_bits=2048),
+            Flow("log_out", src="logging", dst="archive",
+                 deadline=ms(20), criticality=Criticality.C,
+                 size_bits=4096),
+        ],
+        sources=["sensor"], sinks=["actuator", "archive"],
+    )
+
+
+def test_tutorial_end_to_end():
+    workload = tutorial_workload()
+    topology = dual_star_topology(6, bandwidth=2e8)
+    topology.place_endpoint("sensor", "n0")
+    topology.place_endpoint("actuator", "n5")
+    topology.place_endpoint("archive", "n5")
+
+    # R := D/f from the plant physics.
+    dt = 0.02
+    d_periods = WaterTank().max_tolerable_outage(dt)
+    r_us = recovery_bound_for_deadline(int(d_periods * dt * 1e6), f=1)
+
+    system = BTRSystem(workload, topology,
+                       BTRConfig(f=1, R_us=r_us, seed=7))
+    budget = system.prepare()
+    assert budget.total_us <= r_us
+
+    # The installable artifact round-trips.
+    artifact = strategy_to_json(system.strategy)
+    assert len(strategy_from_json(artifact)) == len(system.strategy)
+
+    result = system.run(n_periods=60, adversary=FaultScript([
+        Injection(310_000, "n2", OmissionFault()),
+    ]))
+    verdict = btr_verdict(result, R_us=budget.total_us)
+    assert verdict.holds
+    assert smallest_sufficient_R(result) <= budget.total_us
+    assert timeliness(result).miss_rate < 0.05
+    # The timeline renders (may be a masked non-event, which is fine).
+    assert isinstance(render_timeline(result), str)

@@ -63,10 +63,8 @@ def run_experiment():
         results[k] = criticality_survival(result)
         union = frozenset().union(*result.final_fault_sets.values())
         final_plan = system.strategy.plan_for(union)
-        shed[k] = sorted(
-            {level.value for level in (set(Criticality.ordered())
-                                       - final_plan.kept_levels)}
-        )
+        shed[k] = [level.value for level in Criticality.ordered()
+                   if level not in final_plan.kept_levels]
     return results, shed, victims
 
 

@@ -12,7 +12,6 @@ from ..sim.trace import (
     MessageSent,
     ModeSwitchCompleted,
 )
-from ..workload.criticality import Criticality
 from .correctness import CORRECT, classify_slots
 
 

@@ -10,7 +10,7 @@ tests that assert the narrative's shape.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from ..core.runtime.system import RunResult
 from ..sim.time import format_time

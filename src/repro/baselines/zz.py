@@ -15,10 +15,8 @@ no-trusted-nodes model.
 
 from __future__ import annotations
 
-from ..core.detector.checker import run_check
 from ..core.planner import naming
 from ..core.planner.augment import AugmentConfig, augment
-from ..crypto.authenticator import AuthenticatedStatement
 from ..workload.dataflow import DataflowGraph
 from ..workload.task import compute_output, sensor_reading
 from .base import BaselineAgent, BaselineSystem

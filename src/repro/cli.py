@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands:
+Four commands:
 
 ``plan``
     Run the offline planner and print the strategy: one row per fault
@@ -14,6 +14,13 @@ Three commands:
 ``compare``
     Run BTR and every baseline through the same fault and print the
     comparison table (recovery, output correctness, traffic).
+
+``verify``
+    Statically verify a strategy (freshly planned, or a ``plan
+    --export`` artifact) against the rule catalogue in
+    :mod:`repro.verify`: schedule soundness, placement validity,
+    route/bandwidth feasibility, mode-graph completeness. Exits
+    nonzero on any error finding (and on warnings with ``--strict``).
 """
 
 from __future__ import annotations
@@ -141,6 +148,17 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--fault", choices=sorted(BEHAVIOR_FACTORIES),
                          default="commission")
     compare.add_argument("--fault-at", type=float, default=0.22)
+
+    verify = sub.add_parser(
+        "verify", help="statically verify a strategy (plans + mode graph)")
+    common(verify)
+    verify.add_argument("--strategy", metavar="FILE", default=None,
+                        help="verify an exported strategy JSON instead of "
+                             "planning afresh")
+    verify.add_argument("--strict", action="store_true",
+                        help="treat warnings as errors")
+    verify.add_argument("--rules", action="store_true",
+                        help="print the rule catalogue and exit")
     return parser
 
 
@@ -213,6 +231,46 @@ def cmd_run(args) -> int:
     return 0 if verdict.holds else 1
 
 
+def cmd_verify(args) -> int:
+    from .net import Router
+    from .verify import RULES, verify_strategy
+
+    if args.rules:
+        for rule_id in sorted(RULES):
+            print(f"{rule_id}: {RULES[rule_id]}")
+        return 0
+
+    workload = WORKLOADS[args.workload]()
+    topology = make_topology(args.topology, args.bandwidth)
+    if args.strategy:
+        from .core.planner import strategy_from_json
+        try:
+            with open(args.strategy) as f:
+                strategy = strategy_from_json(f.read())
+        except OSError as exc:
+            print(f"repro verify: cannot read strategy file: {exc}",
+                  file=sys.stderr)
+            return 2
+        if not set(workload.sources) <= set(topology.endpoint_map):
+            topology.place_endpoints_round_robin(workload.sources,
+                                                 workload.sinks)
+        router = Router(topology)
+        origin = args.strategy
+    else:
+        system = BTRSystem(workload, topology,
+                           BTRConfig(f=args.f, seed=args.seed))
+        system.prepare()
+        strategy = system.strategy
+        router = system.router
+        origin = "freshly planned"
+
+    report = verify_strategy(strategy, topology, router=router)
+    print(report.render(
+        title=(f"repro verify: {len(strategy)} plans, f={strategy.f} "
+               f"({args.workload} on {args.topology}, {origin})")))
+    return report.exit_code(strict=args.strict)
+
+
 def cmd_compare(args) -> int:
     fault_at = seconds(args.fault_at)
     rows = []
@@ -265,6 +323,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "plan": cmd_plan,
         "run": cmd_run,
         "compare": cmd_compare,
+        "verify": cmd_verify,
     }[args.command]
     return handler(args)
 

@@ -26,7 +26,7 @@ statements and executes the resulting actions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ...crypto.authenticator import AuthenticatedStatement
 from ...workload.task import compute_output

@@ -15,7 +15,7 @@ transmission and CPU charging — which keeps it unit-testable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from ...crypto.authenticator import AuthenticatedStatement, digest

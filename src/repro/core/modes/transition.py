@@ -14,7 +14,7 @@ schedule". This module computes the per-node work of a transition:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import List, Optional, Set
 
 from ..planner import naming
 from ..planner.plan import Plan

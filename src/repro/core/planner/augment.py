@@ -35,7 +35,7 @@ distribution".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 from ...crypto.signatures import Signature
 from ...workload.dataflow import DataflowGraph, Flow

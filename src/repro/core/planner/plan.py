@@ -21,7 +21,7 @@ tasks and retries").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set
+from typing import Dict, List, Optional, Set
 
 from ...faults.patterns import FaultPattern, mode_id
 from ...net.routing import Router
@@ -31,7 +31,6 @@ from ...sched.mixed_criticality import shedding_ladder
 from ...sched.synthesis import GlobalSchedule, synthesize
 from ...workload.criticality import Criticality
 from ...workload.dataflow import DataflowGraph
-from . import naming
 from .augment import AugmentConfig, augment
 from .placement import PlacementConfig, PlacementError, place
 

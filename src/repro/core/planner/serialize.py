@@ -12,7 +12,7 @@ can be shipped to (simulated) nodes, diffed, or archived with a deployment.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional
+from typing import Optional
 
 from ...sched.synthesis import GlobalSchedule
 from ...sched.table import NodeSchedule, PlannedTransmission, ScheduleEntry

@@ -16,12 +16,11 @@ on every node; lookups at runtime are pure dictionary reads.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set
 
 from ...faults.patterns import (
     FaultPattern,
     all_patterns_up_to,
-    mode_id,
     pattern as make_pattern,
 )
 from ...net.routing import Router
@@ -31,7 +30,7 @@ from ...workload.dataflow import DataflowGraph
 from .augment import AugmentConfig
 from .distance import PlanDistance, plan_distance
 from .placement import PlacementConfig
-from .plan import Plan, PlanningError, build_plan
+from .plan import Plan, build_plan
 
 
 @dataclass(frozen=True)

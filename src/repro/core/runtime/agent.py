@@ -47,7 +47,7 @@ from ..detector.checker import (
     run_check,
 )
 from ..detector.omission import BlameTracker
-from ..detector.timing import OK, SELF_INCRIMINATING, SUSPICIOUS_ARRIVAL
+from ..detector.timing import SELF_INCRIMINATING, SUSPICIOUS_ARRIVAL
 from ..evidence.distributor import EvidenceLog
 from ..evidence.records import (
     ATTRIBUTION,

@@ -46,7 +46,6 @@ from ...sim.trace import (
     Trace,
 )
 from ...workload.dataflow import DataflowGraph
-from ..planner.plan import PlanningError
 from ..planner.strategy import Strategy, StrategyConfig, build_strategy
 from ..planner.placement import PlacementConfig
 from ..planner.augment import AugmentConfig
@@ -128,12 +127,19 @@ class BTRSystem:
 
     # ------------------------------------------------------------- prepare
 
-    def prepare(self) -> RecoveryBudget:
+    def prepare(self, strict: bool = False) -> RecoveryBudget:
         """Run the offline planner; returns the achievable recovery budget.
 
         Raises :class:`PlanningError` if some anticipated fault pattern is
         unschedulable even after shedding, and ValueError if a requested
         R bound is tighter than the deployment can achieve.
+
+        With ``strict=True``, the finished strategy is additionally run
+        through the static verifier (:mod:`repro.verify`) and
+        :class:`~repro.verify.VerificationError` is raised if any plan or
+        mode transition violates a rule — the paper's "choosing the
+        strategy offline seems safer" argument only holds if the offline
+        artifact is itself audited before installation.
         """
         strategy_config = StrategyConfig(
             minimize_distance=self.config.minimize_distance,
@@ -158,6 +164,12 @@ class BTRSystem:
             else distribution_bound(self.topology, self.lane_model,
                                     self.config)
         )
+        if strict:
+            # Imported lazily: repro.verify depends on the planner layer,
+            # and nothing on the non-strict path should pay for it.
+            from ...verify import require_clean, verify_strategy
+            require_clean(verify_strategy(self.strategy, self.topology,
+                                          router=self.router))
         self.budget = compute_budget(self.strategy, self.topology,
                                      self.lane_model, self.router,
                                      self.config)

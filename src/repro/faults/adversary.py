@@ -10,7 +10,7 @@ and thus potentially force the system to produce bad outputs for kR seconds".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..sim.random import DeterministicRandom
 from .behaviors import (

@@ -14,8 +14,8 @@ corrupt.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Optional
 
 
 class FaultBehavior:

@@ -10,7 +10,7 @@ argument in §4.4 depends on this.
 from __future__ import annotations
 
 import itertools
-from typing import FrozenSet, Iterable, Iterator, List, Tuple
+from typing import FrozenSet, Iterable, List
 
 FaultPattern = FrozenSet[str]
 

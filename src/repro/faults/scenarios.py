@@ -18,7 +18,6 @@ from .behaviors import (
     CommissionFault,
     CrashFault,
     EvidenceFloodFault,
-    OmissionFault,
     RogueClockFault,
 )
 

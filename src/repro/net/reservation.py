@@ -14,7 +14,7 @@ network timing predictable and defeats babbling idiots.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from ..sim.link import ReservationError

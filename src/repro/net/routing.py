@@ -12,7 +12,7 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 
 import networkx as nx
 
-from .topology import Topology, TopologyError
+from .topology import Topology
 
 
 class RoutingError(Exception):

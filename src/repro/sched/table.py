@@ -11,8 +11,8 @@ timing-fault detector consult.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
 
 class ScheduleError(Exception):

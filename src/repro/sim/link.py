@@ -17,7 +17,7 @@ the loss-tolerance paths in tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
 from .engine import Simulator

@@ -17,7 +17,6 @@ by this layer, mirroring the hardware MAC assumption in the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from .clock import LocalClock

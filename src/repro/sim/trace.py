@@ -10,7 +10,7 @@ the analysis peeks at simulator internals.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator, List, Optional, Type, TypeVar
+from typing import Any, Iterator, List, Optional, Type, TypeVar
 
 
 @dataclass

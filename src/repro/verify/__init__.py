@@ -1,0 +1,52 @@
+"""Static plan/strategy verification (the ``repro verify`` subsystem).
+
+The paper's guarantee rests on plans that are *internally sound before
+anything runs* — the planner "precomputes plans for each possible fault
+pattern", and a single malformed plan voids the bounded-recovery
+argument for every execution that reaches it. This package is the
+offline auditor for that artifact: given a :class:`~repro.core.planner
+.plan.Plan` or a whole :class:`~repro.core.planner.strategy.Strategy`,
+it re-derives and checks
+
+* **schedule soundness** (``sched.*``) — no slot overlaps or period
+  overruns, precedence respected, kept deadlines met;
+* **placement validity** (``place.*``) — nothing on faulty nodes,
+  replica anti-affinity honoured;
+* **route/bandwidth feasibility** (``route.*``) — routes exist in the
+  topology, avoid faulty nodes, and fit the static reservations;
+* **mode-graph completeness** (``mode.*``) — every pattern ≤ f has a
+  plan and every transition's state fetches have correct sources.
+
+Violations come back as structured :class:`Finding` records in a
+:class:`Report`; nothing here mutates the plan, topology, or link state.
+Exposed as the ``repro verify`` CLI subcommand and as the opt-in
+``strict=True`` check in :meth:`repro.core.runtime.system.BTRSystem
+.prepare`.
+"""
+
+from .findings import RULES, Finding, Report, Severity
+from .modegraph import check_mode_graph
+from .placement import check_placement
+from .routes import check_routes
+from .runner import (
+    VerificationError,
+    require_clean,
+    verify_plan,
+    verify_strategy,
+)
+from .schedule import check_schedule
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "Report",
+    "Severity",
+    "VerificationError",
+    "check_mode_graph",
+    "check_placement",
+    "check_routes",
+    "check_schedule",
+    "require_clean",
+    "verify_plan",
+    "verify_strategy",
+]

@@ -1,0 +1,138 @@
+"""Structured findings: what the static verifier reports.
+
+Every rule violation is a :class:`Finding` — a machine-readable record
+(rule id, severity, mode, subject, message) rather than a raised
+exception, so one pass can report *everything* wrong with a strategy and
+the CLI/CI can render the full list. A :class:`Report` aggregates the
+findings of one verification run and renders them with the same table
+helper the benchmark harness uses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from ..analysis.reporting import format_table
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ERROR findings mean the plan/strategy is unsound and must not be
+    deployed; WARNING findings are hazards (e.g. a state fetch whose
+    source is reachable only through a degraded path) that deserve eyes
+    but do not invalidate the artifact.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one site."""
+
+    #: Stable rule id, e.g. ``"place.replica-collision"`` (see RULES).
+    rule: str
+    severity: Severity
+    #: Mode id of the plan the finding is about ("-" for strategy-level).
+    mode: str
+    #: The offending entity: a node, task instance, flow copy, or pattern.
+    subject: str
+    message: str
+
+    def __str__(self) -> str:
+        return (f"[{self.severity.value}] {self.rule} ({self.mode}) "
+                f"{self.subject}: {self.message}")
+
+
+#: Rule catalogue: id -> one-line description (docs/STATIC_ANALYSIS.md
+#: renders this table; tests assert ids stay stable).
+RULES: Dict[str, str] = {
+    "sched.overlap": "two task slots overlap on one node",
+    "sched.overrun": "a task slot finishes after the period",
+    "sched.precedence": "a consumer starts before one of its inputs arrives",
+    "sched.deadline": "a kept sink flow arrives after its deadline",
+    "place.unassigned": "an augmented task instance has no node assignment",
+    "place.unknown-node": "an instance is assigned to a node not in the "
+                          "topology",
+    "place.faulty-host": "an instance is assigned to a node the plan's own "
+                         "fault pattern marks faulty",
+    "place.replica-collision": "two instances of the same base task share "
+                               "a node",
+    "route.unknown-flow": "a route exists for a flow the augmented graph "
+                          "does not contain",
+    "route.broken-path": "consecutive route hops with no link between them",
+    "route.faulty-node": "a route passes through a node the fault pattern "
+                         "marks faulty",
+    "route.endpoint-mismatch": "a route does not start/end at the "
+                               "producer/consumer host",
+    "route.overbooked": "routed data traffic exceeds a link's reservable "
+                        "capacity",
+    "mode.missing-plan": "an anticipated fault pattern has no plan",
+    "mode.orphan-fetch": "a stateful instance's transition has no correct "
+                         "node to fetch state from",
+    "mode.fetch-unroutable": "a state fetch's source has no route to the "
+                             "fetching node in the new pattern",
+}
+
+
+class Report:
+    """The outcome of one verification run."""
+
+    def __init__(self, findings: Iterable[Finding] = ()) -> None:
+        self.findings: List[Finding] = list(findings)
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no ERROR findings exist (warnings allowed)."""
+        return not self.errors
+
+    def rules_violated(self) -> List[str]:
+        return sorted({f.rule for f in self.findings})
+
+    def exit_code(self, strict: bool = False) -> int:
+        """Process exit code: 1 on errors (or any finding when strict)."""
+        if self.errors:
+            return 1
+        if strict and self.warnings:
+            return 1
+        return 0
+
+    def summary(self) -> str:
+        if not self.findings:
+            return "verification passed: no findings"
+        return (f"verification found {len(self.errors)} error(s), "
+                f"{len(self.warnings)} warning(s) across "
+                f"{len(self.rules_violated())} rule(s)")
+
+    def render(self, title: str = "Static verification") -> str:
+        """Human-readable report (table of findings + summary line)."""
+        if not self.findings:
+            return f"{title}: {self.summary()}"
+        ordered = sorted(
+            self.findings,
+            key=lambda f: (f.severity.value, f.rule, f.mode, f.subject),
+        )
+        rows = [[f.severity.value, f.rule, f.mode, f.subject, f.message]
+                for f in ordered]
+        table = format_table(
+            title, ["severity", "rule", "mode", "subject", "detail"], rows,
+        )
+        return table + self.summary()
+
+
+__all__ = ["Severity", "Finding", "Report", "RULES"]

@@ -1,0 +1,70 @@
+"""Placement validity checks (rule family ``place.*``).
+
+The placer's two hard constraints (§4.1) are exactly what recovery
+correctness rests on: an instance scheduled on a node the plan itself
+considers faulty will never run, and replica siblings sharing a node turn
+one node fault into the loss of *every* copy of a task's state. These
+checks re-validate a plan's assignment against its own fault pattern and
+the deployment topology.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.planner import naming
+from ..core.planner.plan import Plan
+from ..net.topology import Topology
+from .findings import Finding, Severity
+
+
+def check_placement(plan: Plan, topology: Topology) -> List[Finding]:
+    """Verify the instance→node assignment of ``plan``."""
+    findings: List[Finding] = []
+    mode = plan.mode
+    faulty = set(plan.pattern)
+
+    for instance in sorted(plan.augmented.tasks):
+        node = plan.assignment.get(instance)
+        if node is None:
+            findings.append(Finding(
+                rule="place.unassigned", severity=Severity.ERROR,
+                mode=mode, subject=instance,
+                message="augmented instance has no node assignment",
+            ))
+            continue
+        if node not in topology.nodes:
+            findings.append(Finding(
+                rule="place.unknown-node", severity=Severity.ERROR,
+                mode=mode, subject=instance,
+                message=f"assigned to unknown node {node}",
+            ))
+            continue
+        if node in faulty:
+            findings.append(Finding(
+                rule="place.faulty-host", severity=Severity.ERROR,
+                mode=mode, subject=instance,
+                message=(f"assigned to {node}, which this mode's fault "
+                         f"pattern marks faulty"),
+            ))
+
+    # Anti-affinity: all instances of one base task pairwise disjoint.
+    hosts: Dict[str, Dict[str, str]] = {}
+    for instance, node in sorted(plan.assignment.items()):
+        if instance not in plan.augmented.tasks:
+            continue
+        base = naming.base_task(instance)
+        taken = hosts.setdefault(base, {})
+        if node in taken:
+            findings.append(Finding(
+                rule="place.replica-collision", severity=Severity.ERROR,
+                mode=mode, subject=instance,
+                message=(f"shares node {node} with sibling "
+                         f"{taken[node]} of base task {base}"),
+            ))
+        else:
+            taken[node] = instance
+    return findings
+
+
+__all__ = ["check_placement"]

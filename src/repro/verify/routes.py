@@ -1,0 +1,126 @@
+"""Route and bandwidth feasibility checks (rule family ``route.*``).
+
+A plan's per-flow routes are frozen at planning time; the runtime
+dispatcher forwards along them blindly. A route that references a missing
+link silently drops traffic, one that crosses a node the mode considers
+faulty hands the adversary the flow, and a set of routes that collectively
+over-subscribe a link breaks the static-reservation discipline of
+:mod:`repro.net.reservation` — the planned transmission times stop being
+achievable. These checks re-validate every route against the topology and
+re-run the reservation admission arithmetic without mutating any link
+state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.planner.plan import Plan
+from ..net.reservation import ReservationManager
+from ..net.topology import Topology
+from .findings import Finding, Severity
+
+
+def _host_of(plan: Plan, topology: Topology, endpoint: str) -> Optional[str]:
+    """Node hosting a flow endpoint: assigned instance or pinned I/O."""
+    node = plan.assignment.get(endpoint)
+    if node is not None:
+        return node
+    return topology.endpoint_map.get(endpoint)
+
+
+def check_routes(
+    plan: Plan,
+    topology: Topology,
+    headroom: float = ReservationManager.DEFAULT_HEADROOM,
+) -> List[Finding]:
+    """Verify every route of ``plan`` exists, avoids faulty nodes, starts
+    and ends at the right hosts, and fits the link reservation budget."""
+    findings: List[Finding] = []
+    mode = plan.mode
+    faulty = set(plan.pattern)
+    period_seconds = plan.augmented.period / 1e6
+    # (link_id, sender) -> accumulated DATA share, reservation-style.
+    shares: Dict[Tuple[str, str], float] = {}
+
+    for flow_name in sorted(plan.routes):
+        route = plan.routes[flow_name]
+        try:
+            flow = plan.augmented.flow(flow_name)
+        except KeyError:
+            findings.append(Finding(
+                rule="route.unknown-flow", severity=Severity.WARNING,
+                mode=mode, subject=flow_name,
+                message="route for a flow the augmented graph does not "
+                        "contain",
+            ))
+            continue
+        if not route:
+            continue
+
+        for node in route:
+            if node in faulty:
+                findings.append(Finding(
+                    rule="route.faulty-node", severity=Severity.ERROR,
+                    mode=mode, subject=flow_name,
+                    message=(f"route {'>'.join(route)} passes through "
+                             f"faulty node {node}"),
+                ))
+
+        src_host = _host_of(plan, topology, flow.src)
+        dst_host = _host_of(plan, topology, flow.dst)
+        if src_host is not None and route[0] != src_host:
+            findings.append(Finding(
+                rule="route.endpoint-mismatch", severity=Severity.ERROR,
+                mode=mode, subject=flow_name,
+                message=(f"route starts at {route[0]} but producer "
+                         f"{flow.src} is hosted on {src_host}"),
+            ))
+        if dst_host is not None and route[-1] != dst_host:
+            findings.append(Finding(
+                rule="route.endpoint-mismatch", severity=Severity.ERROR,
+                mode=mode, subject=flow_name,
+                message=(f"route ends at {route[-1]} but consumer "
+                         f"{flow.dst} is hosted on {dst_host}"),
+            ))
+
+        broken = False
+        for sender, receiver in zip(route[:-1], route[1:]):
+            data = topology.graph.get_edge_data(sender, receiver)
+            if data is None:
+                findings.append(Finding(
+                    rule="route.broken-path", severity=Severity.ERROR,
+                    mode=mode, subject=flow_name,
+                    message=f"no link between {sender} and {receiver}",
+                ))
+                broken = True
+                continue
+            link = topology.links[data["link_id"]]
+            # Reservation arithmetic (net/reservation.py): headroom times
+            # the flow's mean rate, as a fraction of the raw link rate.
+            mean_rate = flow.size_bits / period_seconds
+            share = headroom * mean_rate / link.bandwidth_bps
+            key = (link.link_id, sender)
+            shares[key] = shares.get(key, 0.0) + share
+        if broken:
+            continue
+
+    # Admission: the per-link sum of all accumulated sender shares must
+    # fit within the link (1.0), like ReservationManager.reserve_path.
+    per_link: Dict[str, float] = {}
+    for (link_id, _sender), share in shares.items():
+        per_link[link_id] = per_link.get(link_id, 0.0) + share
+    for link_id in sorted(per_link):
+        total = per_link[link_id]
+        if total > 1.0 + 1e-9:
+            findings.append(Finding(
+                rule="route.overbooked", severity=Severity.ERROR,
+                mode=mode, subject=link_id,
+                message=(f"routed data traffic needs {total:.3f} of the "
+                         f"link (headroom {headroom}); only 1.0 is "
+                         f"reservable"),
+            ))
+    return findings
+
+
+__all__ = ["check_routes"]

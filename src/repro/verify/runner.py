@@ -1,0 +1,77 @@
+"""Verification entry points: one plan, or a whole strategy.
+
+``verify_plan`` runs the per-plan rule families (schedule soundness,
+placement validity, route/bandwidth feasibility); ``verify_strategy``
+runs them over every plan and adds the cross-plan mode-graph checks.
+Both return a :class:`~repro.verify.findings.Report` — they never raise
+on findings, so callers decide the policy. :class:`VerificationError`
+is what strict callers (``BTRSystem.prepare(strict=True)``, the CLI's
+``--strict``) raise when a report is not clean.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.planner.plan import Plan
+from ..core.planner.strategy import Strategy
+from ..net.reservation import ReservationManager
+from ..net.routing import Router
+from ..net.topology import Topology
+from .findings import Report
+from .modegraph import check_mode_graph
+from .placement import check_placement
+from .routes import check_routes
+from .schedule import check_schedule
+
+
+class VerificationError(Exception):
+    """A strategy or plan failed strict static verification."""
+
+    def __init__(self, report: Report) -> None:
+        super().__init__(report.summary())
+        self.report = report
+
+
+def verify_plan(
+    plan: Plan,
+    topology: Topology,
+    headroom: float = ReservationManager.DEFAULT_HEADROOM,
+) -> Report:
+    """Statically verify one plan. Returns a report; never raises."""
+    report = Report()
+    report.extend(check_schedule(plan))
+    report.extend(check_placement(plan, topology))
+    report.extend(check_routes(plan, topology, headroom=headroom))
+    return report
+
+
+def verify_strategy(
+    strategy: Strategy,
+    topology: Topology,
+    router: Optional[Router] = None,
+    headroom: float = ReservationManager.DEFAULT_HEADROOM,
+) -> Report:
+    """Statically verify a full strategy: every plan plus the mode graph."""
+    report = Report()
+    for pattern in strategy.patterns():
+        plan = strategy.plan_for(pattern)
+        report.extend(check_schedule(plan))
+        report.extend(check_placement(plan, topology))
+        report.extend(check_routes(plan, topology, headroom=headroom))
+    report.extend(check_mode_graph(strategy, topology, router=router))
+    return report
+
+
+def require_clean(report: Report, strict: bool = False) -> Report:
+    """Raise :class:`VerificationError` unless ``report`` is clean.
+
+    Non-strict: errors raise, warnings pass. Strict: any finding raises.
+    """
+    if report.exit_code(strict=strict) != 0:
+        raise VerificationError(report)
+    return report
+
+
+__all__ = ["VerificationError", "verify_plan", "verify_strategy",
+           "require_clean"]

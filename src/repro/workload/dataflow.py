@@ -14,7 +14,7 @@ part of the deployment (see :mod:`repro.net.topology`), not the workload.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set
 
 from .criticality import Criticality

@@ -11,7 +11,7 @@ the analysis-layer oracle — computes the identical value.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from .criticality import Criticality

@@ -1,0 +1,198 @@
+"""Tests for the AST determinism linter (``tools.lint``).
+
+Each rule is exercised against minimal sources at paths inside and
+outside the restricted layers, plus the suppression pragma and the CLI
+entry point's exit codes.
+"""
+
+import textwrap
+from pathlib import Path
+
+from tools.lint import (
+    ALL_RULES,
+    lint_paths,
+    lint_source,
+    main,
+    suppressed_rules,
+)
+
+SIM_PATH = "src/repro/sim/example.py"
+CORE_PATH = "src/repro/core/runtime/example.py"
+ANALYSIS_PATH = "src/repro/analysis/example.py"
+
+
+def rules_hit(source, path=SIM_PATH):
+    source = textwrap.dedent(source)
+    return sorted({v.rule for v in lint_source(source, path, ALL_RULES)})
+
+
+# ---------------------------------------------------------------- wallclock
+
+
+def test_wallclock_flags_time_calls():
+    src = """\
+        import time
+        def now():
+            return time.time()
+    """
+    assert rules_hit(src) == ["wallclock"]
+    assert rules_hit(src, path=CORE_PATH) == ["wallclock"]
+
+
+def test_wallclock_flags_perf_counter_and_datetime():
+    assert rules_hit("import time\nt = time.perf_counter()\n") \
+        == ["wallclock"]
+    assert rules_hit("import datetime\nd = datetime.datetime.now()\n") \
+        == ["wallclock"]
+    assert rules_hit("from time import monotonic\n") == ["wallclock"]
+    assert rules_hit("from datetime import datetime\n") == ["wallclock"]
+
+
+def test_wallclock_scoped_to_restricted_layers():
+    src = "import time\nt = time.time()\n"
+    assert rules_hit(src, path=ANALYSIS_PATH) == []
+    assert rules_hit(src, path="tools/example.py") == []
+
+
+def test_wallclock_exempts_the_clock_facade():
+    src = "import time\nt = time.monotonic()\n"
+    assert rules_hit(src, path="src/repro/sim/time.py") == []
+    assert rules_hit(src, path="src/repro/sim/clock.py") == []
+
+
+def test_wallclock_ignores_relative_and_harmless_imports():
+    assert rules_hit("from .time import now_us\n") == []
+    assert rules_hit("from time import struct_time\n") == []
+    assert rules_hit("import time\nz = time.timezone\n") == []
+
+
+# ---------------------------------------------------------- unseeded-random
+
+
+def test_global_random_flagged_in_restricted_layers():
+    src = "import random\nx = random.randint(0, 1)\n"
+    assert rules_hit(src) == ["unseeded-random"]
+    assert rules_hit(src, path=ANALYSIS_PATH) == []
+
+
+def test_numpy_global_random_flagged():
+    assert rules_hit("import numpy as np\nx = np.random.rand()\n") \
+        == ["unseeded-random"]
+
+
+def test_from_random_import_flagged_but_relative_exempt():
+    assert rules_hit("from random import choice\n") == ["unseeded-random"]
+    # The engine's own facade: `from .random import DeterministicRandom`.
+    assert rules_hit("from .random import DeterministicRandom\n") == []
+    assert rules_hit(
+        "import random\n", path="src/repro/sim/random.py") == []
+
+
+# ------------------------------------------------------------ set-iteration
+
+
+def test_set_literal_iteration_flagged_everywhere():
+    src = "for x in {1, 2, 3}:\n    pass\n"
+    assert rules_hit(src) == ["set-iteration"]
+    assert rules_hit(src, path=ANALYSIS_PATH) == ["set-iteration"]
+
+
+def test_set_call_keys_view_and_comprehensions_flagged():
+    assert rules_hit("for x in set(items):\n    pass\n") \
+        == ["set-iteration"]
+    assert rules_hit("for k in table.keys():\n    pass\n") \
+        == ["set-iteration"]
+    assert rules_hit("xs = [x for x in frozenset(items)]\n") \
+        == ["set-iteration"]
+    assert rules_hit("xs = {x for x in set(a) - b}\n") == ["set-iteration"]
+
+
+def test_sorted_iteration_not_flagged():
+    assert rules_hit("for x in sorted({1, 2, 3}):\n    pass\n") == []
+    assert rules_hit("for x in items:\n    pass\n") == []
+
+
+# ----------------------------------------------------------------- float-eq
+
+
+def test_float_literal_equality_flagged():
+    assert rules_hit("ok = deadline == 1.5\n") == ["float-eq"]
+    assert rules_hit("ok = 0.25 != jitter\n") == ["float-eq"]
+
+
+def test_int_equality_and_float_ordering_not_flagged():
+    assert rules_hit("ok = deadline == 1\n") == []
+    assert rules_hit("ok = deadline <= 1.5\n") == []
+
+
+# ------------------------------------------------------------------ pragmas
+
+
+def test_pragma_parses_rule_lists_and_star():
+    assert suppressed_rules("x = 1  # lint: ignore[wallclock]") \
+        == {"wallclock"}
+    assert suppressed_rules("x = 1  # lint: ignore[a, b]") == {"a", "b"}
+    assert suppressed_rules("x = 1  # lint: ignore[*]") == {"*"}
+    assert suppressed_rules("x = 1  # plain comment") is None
+
+
+def test_pragma_suppresses_only_named_rule():
+    src = "import time\nt = time.time()  # lint: ignore[wallclock]\n"
+    assert rules_hit(src) == []
+    src = "import time\nt = time.time()  # lint: ignore[float-eq]\n"
+    assert rules_hit(src) == ["wallclock"]
+    src = "import time\nt = time.time()  # lint: ignore[*]\n"
+    assert rules_hit(src) == []
+
+
+# -------------------------------------------------------------- the engine
+
+
+def test_syntax_error_reported_as_parse_error():
+    assert rules_hit("def broken(:\n") == ["parse-error"]
+
+
+def test_violation_str_is_grep_friendly():
+    violation = lint_source("t = time.time()\n", SIM_PATH, ALL_RULES)[0]
+    assert str(violation).startswith(f"{SIM_PATH}:1:")
+    assert "wallclock" in str(violation)
+
+
+def test_lint_paths_walks_directories(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    (pkg / "dirty.py").write_text("import time\nt = time.time()\n")
+    (pkg / "clean.py").write_text("x = 1\n")
+    (pkg / "notes.txt").write_text("not python")
+    violations = lint_paths([str(tmp_path)])
+    assert [v.rule for v in violations] == ["wallclock"]
+    assert violations[0].path.endswith("dirty.py")
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "dirty.py").write_text("import random\nx = random.random()\n")
+    assert main([str(tmp_path)]) == 1
+    assert "unseeded-random" in capsys.readouterr().out
+
+    (pkg / "dirty.py").write_text("x = 1\n")
+    assert main([str(tmp_path)]) == 0
+    assert "no violations" in capsys.readouterr().out
+
+
+def test_main_rejects_missing_paths(capsys):
+    assert main(["/no/such/path"]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_main_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ALL_RULES:
+        assert rule.id in out
+
+
+def test_shipped_tree_is_lint_clean():
+    src = Path(__file__).resolve().parent.parent / "src"
+    assert lint_paths([str(src)]) == []

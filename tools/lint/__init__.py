@@ -1,0 +1,33 @@
+"""AST determinism lint for the repro codebase (``python -m tools.lint``).
+
+Layer 2 of the static-analysis subsystem (Layer 1, the plan verifier,
+lives in :mod:`repro.verify`): a small pluggable AST linter that guards
+the simulator's determinism invariants — no wall-clock reads, no global
+RNG, no order-dependent set iteration, no float equality on deadlines.
+See :mod:`tools.lint.rules` for the catalogue and
+``docs/STATIC_ANALYSIS.md`` for how to add a rule.
+
+Per-line suppression: append ``# lint: ignore[rule-id]`` (or
+``ignore[*]``) with a justification comment.
+"""
+
+from .engine import (
+    Violation,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    main,
+    suppressed_rules,
+)
+from .rules import ALL_RULES, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "Rule",
+    "Violation",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "suppressed_rules",
+]

@@ -1,0 +1,7 @@
+"""``python -m tools.lint`` entry point."""
+
+import sys
+
+from .engine import main
+
+sys.exit(main())

@@ -1,0 +1,146 @@
+"""The lint engine: file walking, rule dispatch, pragma suppression.
+
+Rules are plain objects (see :mod:`tools.lint.rules`) with an ``id``, a
+``description``, an ``applies_to(path)`` scope predicate, and a
+``check(tree)`` generator yielding ``(lineno, col, message)`` triples.
+The engine parses each file once, runs every applicable rule over the
+AST, and drops violations whose source line carries a matching
+suppression pragma::
+
+    deadline = now()  # lint: ignore[wallclock]  calibration only
+    for n in nodes | extras:  # lint: ignore[*]
+
+Run it as ``python -m tools.lint src/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+_PRAGMA = re.compile(r"#\s*lint:\s*ignore\[([^\]]*)\]")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: " \
+               f"{self.message}"
+
+
+def suppressed_rules(source_line: str) -> Optional[set]:
+    """Rule ids suppressed by a ``# lint: ignore[...]`` pragma on the
+    line, or None when no pragma is present. ``*`` suppresses every
+    rule."""
+    match = _PRAGMA.search(source_line)
+    if match is None:
+        return None
+    return {item.strip() for item in match.group(1).split(",") if item.strip()}
+
+
+def lint_source(source: str, path: str, rules: Sequence) -> List[Violation]:
+    """Lint one file's source text with every applicable rule."""
+    applicable = [r for r in rules if r.applies_to(path)]
+    if not applicable:
+        return []
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Violation(path=path, line=exc.lineno or 0, col=0,
+                          rule="parse-error", message=str(exc.msg))]
+    lines = source.splitlines()
+    violations: List[Violation] = []
+    for rule in applicable:
+        for lineno, col, message in rule.check(tree):
+            source_line = lines[lineno - 1] if 0 < lineno <= len(lines) else ""
+            ignored = suppressed_rules(source_line)
+            if ignored is not None and ("*" in ignored or rule.id in ignored):
+                continue
+            violations.append(Violation(
+                path=path, line=lineno, col=col, rule=rule.id,
+                message=message,
+            ))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return violations
+
+
+def iter_python_files(paths: Iterable[str]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    result: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            result.extend(
+                p for p in path.rglob("*.py")
+                if "egg-info" not in str(p) and "__pycache__" not in str(p)
+            )
+        elif path.suffix == ".py":
+            result.append(path)
+    return sorted(set(result))
+
+
+def lint_paths(paths: Iterable[str],
+               rules: Optional[Sequence] = None) -> List[Violation]:
+    """Lint every python file under ``paths``."""
+    if rules is None:
+        from .rules import ALL_RULES
+        rules = ALL_RULES
+    violations: List[Violation] = []
+    for path in iter_python_files(paths):
+        violations.extend(
+            lint_source(path.read_text(), str(path), rules)
+        )
+    return violations
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    from .rules import ALL_RULES
+    parser = argparse.ArgumentParser(
+        prog="tools.lint",
+        description="AST determinism lint for the repro codebase.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id}: {rule.description}")
+        return 0
+
+    missing = [p for p in (args.paths or ["src"]) if not Path(p).exists()]
+    if missing:
+        for p in missing:
+            print(f"tools.lint: no such path: {p}", file=sys.stderr)
+        return 2
+
+    files = iter_python_files(args.paths or ["src"])
+    violations = lint_paths(args.paths or ["src"], rules=ALL_RULES)
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"{len(violations)} violation(s) in "
+              f"{len({v.path for v in violations})} file(s) "
+              f"({len(files)} checked)")
+        return 1
+    print(f"checked {len(files)} file(s): no violations")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,227 @@
+"""Determinism lint rules.
+
+Each rule targets a way nondeterminism (or float brittleness) has crept
+into simulators like this one and silently invalidated benchmark
+numbers:
+
+* ``wallclock`` — real-time clocks vary run to run; simulated components
+  must read time from the engine (:mod:`repro.sim.time`, the node clock).
+* ``unseeded-random`` — the process-global RNG is shared, unseeded, and
+  order-dependent; randomness must flow through the engine's
+  :class:`repro.sim.random.DeterministicRandom` and its labelled forks.
+* ``set-iteration`` — iterating a bare ``set``/``frozenset``/``dict
+  .keys()`` yields insertion-dependent order; anything feeding an event
+  queue or schedule must be ``sorted(...)`` first.
+* ``float-eq`` — ``==``/``!=`` against float literals is brittle for
+  deadline arithmetic; the codebase keeps time in integer µs.
+
+The first two are scoped to ``src/repro/sim`` and ``src/repro/core``
+(the determinism-critical layers); the clock/RNG façades themselves
+(``sim/time.py``, ``sim/clock.py``, ``sim/random.py``) are exempt, being
+the sanctioned wrappers. The last two apply everywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+Hit = Tuple[int, int, str]
+
+#: Path fragments of the determinism-critical layers (posix-style).
+RESTRICTED_FRAGMENTS = ("repro/sim/", "repro/core/")
+#: Sanctioned wrapper modules, exempt from the scoped rules.
+EXEMPT_SUFFIXES = ("repro/sim/time.py", "repro/sim/random.py",
+                   "repro/sim/clock.py")
+
+
+def _posix(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+def _in_restricted_layer(path: str) -> bool:
+    posix = _posix(path)
+    if posix.endswith(EXEMPT_SUFFIXES):
+        return False
+    return any(fragment in posix for fragment in RESTRICTED_FRAGMENTS)
+
+
+class Rule:
+    """Base class: id, description, scope predicate, AST check."""
+
+    id = "abstract"
+    description = ""
+
+    def applies_to(self, path: str) -> bool:
+        return True
+
+    def check(self, tree: ast.AST) -> Iterator[Hit]:
+        raise NotImplementedError
+
+
+_WALLCLOCK_TIME_ATTRS = {
+    "time", "monotonic", "perf_counter", "perf_counter_ns", "time_ns",
+    "monotonic_ns", "localtime", "gmtime",
+}
+_WALLCLOCK_DATETIME_ATTRS = {"now", "utcnow", "today"}
+
+
+class WallClockRule(Rule):
+    """Forbid real-time clock reads in the simulation/core layers."""
+
+    id = "wallclock"
+    description = ("wall-clock reads (time.time, datetime.now, "
+                   "perf_counter, ...) are nondeterministic; use "
+                   "repro.sim.time and the engine clock")
+
+    def applies_to(self, path: str) -> bool:
+        return _in_restricted_layer(path)
+
+    def check(self, tree: ast.AST) -> Iterator[Hit]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "time" and any(
+                        a.name in _WALLCLOCK_TIME_ATTRS
+                        for a in node.names):
+                    yield (node.lineno, node.col_offset,
+                           "importing wall-clock functions from `time`")
+                if node.module == "datetime":
+                    yield (node.lineno, node.col_offset,
+                           "importing `datetime`: wall-clock dates have no "
+                           "place in simulated time")
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                value = func.value
+                if (isinstance(value, ast.Name) and value.id == "time"
+                        and func.attr in _WALLCLOCK_TIME_ATTRS):
+                    yield (node.lineno, node.col_offset,
+                           f"call to time.{func.attr}()")
+                elif (isinstance(value, ast.Name) and value.id == "datetime"
+                        and func.attr in _WALLCLOCK_DATETIME_ATTRS):
+                    yield (node.lineno, node.col_offset,
+                           f"call to datetime.{func.attr}()")
+                elif (isinstance(value, ast.Attribute)
+                        and value.attr == "datetime"
+                        and func.attr in _WALLCLOCK_DATETIME_ATTRS):
+                    yield (node.lineno, node.col_offset,
+                           f"call to datetime.datetime.{func.attr}()")
+
+
+class UnseededRandomRule(Rule):
+    """Forbid the process-global RNG in the simulation/core layers."""
+
+    id = "unseeded-random"
+    description = ("module-level random.* (and numpy.random.*) bypasses "
+                   "the seeded engine RNG; use "
+                   "repro.sim.random.DeterministicRandom forks")
+
+    def applies_to(self, path: str) -> bool:
+        return _in_restricted_layer(path)
+
+    def check(self, tree: ast.AST) -> Iterator[Hit]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "random":
+                    yield (node.lineno, node.col_offset,
+                           "importing names from the global `random` "
+                           "module")
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                value = func.value
+                if isinstance(value, ast.Name) and value.id == "random":
+                    yield (node.lineno, node.col_offset,
+                           f"call to random.{func.attr}()")
+                elif (isinstance(value, ast.Attribute)
+                        and value.attr == "random"
+                        and isinstance(value.value, ast.Name)
+                        and value.value.id in ("np", "numpy")):
+                    yield (node.lineno, node.col_offset,
+                           f"call to {value.value.id}.random."
+                           f"{func.attr}()")
+
+
+def _is_unordered_expr(node: ast.expr) -> bool:
+    """Literal sets, set()/frozenset() calls, and dict .keys() views."""
+    if isinstance(node, ast.Set):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if isinstance(func, ast.Attribute) and func.attr == "keys":
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+        # Set algebra (a | b, a & b, a - b) over unordered operands.
+        return (_is_unordered_expr(node.left)
+                or _is_unordered_expr(node.right))
+    return False
+
+
+class SetIterationRule(Rule):
+    """Flag iteration over expressions with no deterministic order."""
+
+    id = "set-iteration"
+    description = ("iterating a bare set/frozenset/dict.keys() has "
+                   "insertion-dependent order; wrap in sorted(...) before "
+                   "feeding schedules or event queues")
+
+    def check(self, tree: ast.AST) -> Iterator[Hit]:
+        for node in ast.walk(tree):
+            iters = []
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.GeneratorExp, ast.DictComp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if _is_unordered_expr(it):
+                    yield (it.lineno, it.col_offset,
+                           "iteration over an unordered set/dict-view "
+                           "expression")
+
+
+class FloatEqualityRule(Rule):
+    """Flag ``==``/``!=`` against float literals (deadline arithmetic)."""
+
+    id = "float-eq"
+    description = ("equality against a float literal is brittle for "
+                   "deadline/time arithmetic; keep time in integer µs or "
+                   "compare with a tolerance")
+
+    def check(self, tree: ast.AST) -> Iterator[Hit]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                for side in (left, right):
+                    if (isinstance(side, ast.Constant)
+                            and isinstance(side.value, float)):
+                        yield (node.lineno, node.col_offset,
+                               f"equality comparison against float "
+                               f"literal {side.value!r}")
+                        break
+
+
+ALL_RULES = (
+    WallClockRule(),
+    UnseededRandomRule(),
+    SetIterationRule(),
+    FloatEqualityRule(),
+)
+
+__all__ = [
+    "ALL_RULES",
+    "FloatEqualityRule",
+    "Rule",
+    "SetIterationRule",
+    "UnseededRandomRule",
+    "WallClockRule",
+]

@@ -10,18 +10,53 @@ statistical repetition buys nothing).
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from typing import Optional
 
 from repro import BTRConfig, BTRSystem
 from repro.faults import SingleFaultAdversary
 from repro.net import full_mesh_topology
+from repro.perf import CACHE_ENV_VAR
+from repro.perf.timing import append_jsonl
 from repro.workload import industrial_workload
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 #: Standard single-fault time for the 50 ms industrial workload.
 FAULT_AT = 220_000
+
+#: Per-prepare planning stats, appended by :func:`prepared_btr`;
+#: ``tools/run_experiments.py`` truncates it before a suite run and
+#: aggregates it into ``BENCH_planner.json`` afterwards.
+PLANNER_STATS_PATH = os.path.join(RESULTS_DIR, "planner_stats.jsonl")
+
+
+def harness_cache_dir() -> Optional[str]:
+    """The strategy-cache directory the benchmarks share.
+
+    ``$REPRO_STRATEGY_CACHE`` wins when set (``run_experiments.py``
+    threads one directory through every experiment shard; setting it
+    empty disables caching); otherwise ``benchmarks/.strategy_cache``,
+    so repeated local pytest runs of experiments that reuse the
+    canonical (industrial, fullmesh:7, f=1) scenario stop re-planning
+    it from scratch.
+    """
+    value = os.environ.get(CACHE_ENV_VAR)
+    if value is not None:
+        return value.strip() or None
+    return os.path.join(os.path.dirname(__file__), ".strategy_cache")
+
+
+def record_planning(system: BTRSystem, label: Optional[str] = None) -> None:
+    """Append one prepare()'s planning stats to the jsonl stream."""
+    stats = getattr(system, "plan_stats", None)
+    if stats is None:
+        return
+    if label is None:
+        label = os.environ.get("PYTEST_CURRENT_TEST", "adhoc").split(" ")[0]
+    append_jsonl(PLANNER_STATS_PATH, {"experiment": label,
+                                      **stats.to_dict()})
 
 
 def write_result(name: str, text: str) -> None:
@@ -41,11 +76,21 @@ def one_shot(benchmark, fn):
 def prepared_btr(workload=None, n_nodes: int = 7, f: int = 1,
                  seed: int = 42, bandwidth: float = 1e8,
                  config: Optional[BTRConfig] = None) -> BTRSystem:
+    """A prepared BTR system, planned through the shared strategy cache.
+
+    The cache key covers every planning input (workload, topology, f,
+    seed, planner config and version), so threading one cache through
+    all benchmarks is safe: experiments that reuse a scenario hit, every
+    other configuration misses and plans as before.
+    """
     workload = workload or industrial_workload()
     topology = full_mesh_topology(n_nodes, bandwidth=bandwidth)
-    system = BTRSystem(workload, topology,
-                       config or BTRConfig(f=f, seed=seed))
+    config = config or BTRConfig(f=f, seed=seed)
+    if config.cache is None:
+        config = dataclasses.replace(config, cache=harness_cache_dir())
+    system = BTRSystem(workload, topology, config)
     system.prepare()
+    record_planning(system)
     return system
 
 

@@ -121,6 +121,19 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--f", type=int, default=1, dest="f",
                        help="fault budget")
         p.add_argument("--seed", type=int, default=42)
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for offline planning "
+                            "(0 = all cores; the strategy is "
+                            "byte-identical for every value)")
+        p.add_argument("--cache", metavar="DIR", default=None,
+                       help="strategy cache directory (default: "
+                            "$REPRO_STRATEGY_CACHE if set)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="replan even if $REPRO_STRATEGY_CACHE is set")
+        p.add_argument("--memo", action="store_true",
+                       help="memoise symmetric fault patterns (opt-in; "
+                            "verifier-clean, may differ from exhaustive "
+                            "planning)")
 
     plan = sub.add_parser("plan", help="run the offline planner")
     common(plan)
@@ -162,11 +175,23 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def config_from_args(args) -> BTRConfig:
+    """The BTRConfig encoded by the common CLI flags."""
+    cache = None
+    if not args.no_cache:
+        if args.cache is not None:
+            cache = args.cache
+        else:
+            from .perf import default_cache_dir
+            cache = default_cache_dir()
+    return BTRConfig(f=args.f, seed=args.seed, planner_jobs=args.jobs,
+                     cache=cache, symmetry_memo=args.memo)
+
+
 def cmd_plan(args) -> int:
     workload = WORKLOADS[args.workload]()
     topology = make_topology(args.topology, args.bandwidth)
-    system = BTRSystem(workload, topology,
-                       BTRConfig(f=args.f, seed=args.seed))
+    system = BTRSystem(workload, topology, config_from_args(args))
     budget = system.prepare()
     rows = []
     for pattern in system.strategy.patterns():
@@ -188,6 +213,16 @@ def cmd_plan(args) -> int:
           f"distribution {to_seconds(budget.distribution_us):.3f}s, "
           f"switch {to_seconds(budget.switch_us):.3f}s, "
           f"settling {to_seconds(budget.settling_us):.3f}s)")
+    stats = system.plan_stats
+    if stats is not None:
+        if stats.cache_hit:
+            how = f"cache hit ({stats.cache_key[:12]})"
+        else:
+            how = (f"{stats.plans_computed} computed"
+                   + (f", {stats.plans_memoised} memoised"
+                      if stats.plans_memoised else "")
+                   + f", jobs={stats.jobs}")
+        print(f"planning: {stats.wall_s:.3f}s wall ({how})")
     if args.export:
         from .core.planner import strategy_to_json
         with open(args.export, "w") as f:
@@ -199,8 +234,7 @@ def cmd_plan(args) -> int:
 def cmd_run(args) -> int:
     workload = WORKLOADS[args.workload]()
     topology = make_topology(args.topology, args.bandwidth)
-    system = BTRSystem(workload, topology,
-                       BTRConfig(f=args.f, seed=args.seed))
+    system = BTRSystem(workload, topology, config_from_args(args))
     budget = system.prepare()
     adversary = None
     link_script = None
@@ -257,12 +291,13 @@ def cmd_verify(args) -> int:
         router = Router(topology)
         origin = args.strategy
     else:
-        system = BTRSystem(workload, topology,
-                           BTRConfig(f=args.f, seed=args.seed))
+        system = BTRSystem(workload, topology, config_from_args(args))
         system.prepare()
         strategy = system.strategy
         router = system.router
         origin = "freshly planned"
+        if system.plan_stats is not None and system.plan_stats.cache_hit:
+            origin = "from cache"
 
     report = verify_strategy(strategy, topology, router=router)
     print(report.render(
@@ -277,8 +312,7 @@ def cmd_compare(args) -> int:
 
     workload = WORKLOADS[args.workload]()
     topology = make_topology(args.topology, args.bandwidth)
-    system = BTRSystem(workload, topology,
-                       BTRConfig(f=args.f, seed=args.seed))
+    system = BTRSystem(workload, topology, config_from_args(args))
     system.prepare()
     result = system.run(args.periods,
                         SingleFaultAdversary(at=fault_at, kind=args.fault))

@@ -13,7 +13,13 @@ from .serialize import (
     strategy_to_dict,
     strategy_to_json,
 )
-from .strategy import Strategy, StrategyConfig, build_strategy
+from .strategy import (
+    PLANNER_VERSION,
+    Strategy,
+    StrategyConfig,
+    build_strategy,
+    strategy_candidates,
+)
 
 __all__ = [
     "naming",
@@ -35,7 +41,9 @@ __all__ = [
     "strategy_from_json",
     "strategy_to_dict",
     "strategy_to_json",
+    "PLANNER_VERSION",
     "Strategy",
     "StrategyConfig",
     "build_strategy",
+    "strategy_candidates",
 ]

@@ -33,6 +33,14 @@ from .placement import PlacementConfig
 from .plan import Plan, build_plan
 
 
+#: Version of the planning algorithm itself. Any change that can alter
+#: the plans produced for identical inputs (scoring weights, shedding
+#: order, synthesis tie-breaks, serialisation) must bump this — the
+#: on-disk strategy cache (:mod:`repro.perf.cache`) keys on it, so a
+#: bump invalidates every cached strategy.
+PLANNER_VERSION = 2
+
+
 @dataclass(frozen=True)
 class StrategyConfig:
     """Knobs for strategy construction."""
@@ -43,6 +51,17 @@ class StrategyConfig:
     #: (the paper's threat focuses on controllers, not sensors/actuators).
     protect_endpoints: bool = True
     placement: PlacementConfig = field(default_factory=PlacementConfig)
+
+
+def strategy_candidates(topology: Topology,
+                        config: StrategyConfig) -> List[str]:
+    """The nodes whose failures the strategy anticipates, in canonical
+    (sorted) order."""
+    endpoint_nodes = set(topology.endpoint_map.values())
+    return [
+        n for n in sorted(topology.nodes)
+        if not (config.protect_endpoints and n in endpoint_nodes)
+    ]
 
 
 class Strategy:
@@ -174,11 +193,7 @@ def build_strategy(
     lane_model = lane_model or LaneModel(topology)
     augment_config = augment_config or AugmentConfig(replicas=f + 1)
 
-    endpoint_nodes = set(topology.endpoint_map.values())
-    candidates = [
-        n for n in sorted(topology.nodes)
-        if not (config.protect_endpoints and n in endpoint_nodes)
-    ]
+    candidates = strategy_candidates(topology, config)
     plans: Dict[FaultPattern, Plan] = {}
     for pattern in all_patterns_up_to(candidates, f):
         parent_assignment = None

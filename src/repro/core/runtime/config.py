@@ -74,6 +74,21 @@ class BTRConfig:
     strategic_placement: bool = True
     protect_endpoints: bool = True
 
+    # --- offline planning performance (repro.perf) -----------------------
+    #: Worker processes for offline plan construction. 1 = serial (the
+    #: default); 0 = all cores. Any value produces a byte-identical
+    #: strategy — parallelism never changes the artifact.
+    planner_jobs: int = 1
+    #: Directory of the on-disk strategy cache, or ``None`` to replan
+    #: every time. Keys include the planner version, so a stale cache is
+    #: never silently reused across algorithm changes.
+    cache: Optional[str] = None
+    #: Reuse one canonical plan per fault-pattern *size* on symmetric
+    #: topologies (see :mod:`repro.perf.symmetry`). Opt-in: memoised
+    #: strategies are verifier-clean but may differ from exhaustive
+    #: planning when distance-minimising placement is on.
+    symmetry_memo: bool = False
+
     def __post_init__(self) -> None:
         if self.f < 1:
             raise ValueError("BTR needs f >= 1 (use the unreplicated "
@@ -82,3 +97,5 @@ class BTRConfig:
             raise ValueError("R must be positive")
         if self.suppress_periods < 0:
             raise ValueError("suppress_periods must be >= 0")
+        if self.planner_jobs < 0:
+            raise ValueError("planner_jobs must be >= 0 (0 = all cores)")

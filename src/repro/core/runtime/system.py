@@ -88,7 +88,7 @@ class RunResult:
         return self.trace.of_kind(ModeSwitchCompleted)
 
     def messages_sent(self) -> int:
-        return len(self.trace.of_kind(MessageSent))
+        return self.trace.count(MessageSent)
 
     def summary(self) -> str:
         faults = self.fault_times()
@@ -120,6 +120,9 @@ class BTRSystem:
         self.strategy: Optional[Strategy] = None
         self.budget: Optional[RecoveryBudget] = None
         self.switch_lead_us: int = 0
+        #: Filled by prepare(): how the strategy was obtained (cache hit,
+        #: plans computed vs memoised, worker count, wall time).
+        self.plan_stats = None
         # Per-run state:
         self.sim: Optional[Simulator] = None
         self.trace: Optional[Trace] = None
@@ -153,11 +156,8 @@ class BTRSystem:
         augment_config = AugmentConfig(
             replicas=self.config.f + 1, check_us=self.config.check_us,
         )
-        self.strategy = build_strategy(
-            self.workload, self.topology, self.router, self.config.f,
-            lane_model=self.lane_model, config=strategy_config,
-            augment_config=augment_config,
-        )
+        self.strategy = self._obtain_strategy(strategy_config,
+                                              augment_config)
         self.switch_lead_us = (
             self.config.switch_lead_us
             if self.config.switch_lead_us is not None
@@ -184,6 +184,74 @@ class BTRSystem:
                 f"{self.budget.settling_us})"
             )
         return self.budget
+
+    def _obtain_strategy(self, strategy_config: StrategyConfig,
+                         augment_config: AugmentConfig) -> Strategy:
+        """Cache lookup → fan-out/memo builder → legacy serial builder.
+
+        The perf layer is imported lazily: plain ``prepare()`` with the
+        default config (serial, no cache, no memo) must not pay for it.
+        Records how the strategy was obtained in ``self.plan_stats``.
+        """
+        cfg = self.config
+        use_perf = (cfg.planner_jobs != 1 or cfg.symmetry_memo
+                    or cfg.cache is not None)
+        if not use_perf:
+            self.plan_stats = None
+            return build_strategy(
+                self.workload, self.topology, self.router, cfg.f,
+                lane_model=self.lane_model, config=strategy_config,
+                augment_config=augment_config,
+            )
+
+        from ...perf import (
+            PlanningStats,
+            StrategyCache,
+            build_strategy_fanout,
+            strategy_cache_key,
+        )
+        from ...perf.timing import Stopwatch
+
+        stats = PlanningStats()
+        self.plan_stats = stats
+        watch = Stopwatch()
+        cache = StrategyCache(cfg.cache) if cfg.cache else None
+        if cache is not None:
+            key = strategy_cache_key(
+                self.workload, self.topology, cfg.f, cfg.seed,
+                strategy_config=strategy_config,
+                augment_config=augment_config,
+                lane_fractions=cfg.lanes,
+                memo=cfg.symmetry_memo,
+            )
+            stats.cache_key = key
+            cached = cache.load(key)
+            if cached is not None:
+                stats.cache_hit = True
+                stats.plans_total = len(cached)
+                stats.wall_s = watch.elapsed_s()
+                return cached
+
+        if cfg.planner_jobs != 1 or cfg.symmetry_memo:
+            strategy = build_strategy_fanout(
+                self.workload, self.topology, self.router, cfg.f,
+                lane_model=self.lane_model, config=strategy_config,
+                augment_config=augment_config,
+                jobs=cfg.planner_jobs, memo=cfg.symmetry_memo,
+                stats=stats,
+            )
+        else:
+            strategy = build_strategy(
+                self.workload, self.topology, self.router, cfg.f,
+                lane_model=self.lane_model, config=strategy_config,
+                augment_config=augment_config,
+            )
+            stats.plans_total = len(strategy)
+            stats.plans_computed = len(strategy)
+        if cache is not None:
+            cache.store(stats.cache_key, strategy)
+        stats.wall_s = watch.elapsed_s()
+        return strategy
 
     # ----------------------------------------------------------------- run
 

@@ -1,0 +1,41 @@
+"""Offline performance layer: parallel planning, memoisation, caching.
+
+Nothing in here changes *what* the planner computes — only how fast the
+artifact is produced and whether it is recomputed at all:
+
+* :func:`build_strategy_fanout` — level-synchronous process fan-out over
+  fault patterns, with optional structural symmetry memoisation;
+* :class:`StrategyCache` / :func:`strategy_cache_key` — content-keyed
+  on-disk reuse of finished strategies;
+* :mod:`repro.perf.timing` — the one sanctioned wall-clock module (the
+  determinism lint restricts ``repro/perf/`` and exempts only it).
+
+See ``docs/PERFORMANCE.md`` for the architecture and the determinism
+guarantees each piece preserves.
+"""
+
+from .cache import (
+    CACHE_ENV_VAR,
+    StrategyCache,
+    default_cache_dir,
+    strategy_cache_key,
+)
+from .parallel import PlanningStats, build_strategy_fanout, resolve_jobs
+from .symmetry import (
+    candidates_symmetric,
+    pattern_permutation,
+    rename_plan,
+)
+
+__all__ = [
+    "CACHE_ENV_VAR",
+    "StrategyCache",
+    "default_cache_dir",
+    "strategy_cache_key",
+    "PlanningStats",
+    "build_strategy_fanout",
+    "resolve_jobs",
+    "candidates_symmetric",
+    "pattern_permutation",
+    "rename_plan",
+]

@@ -1,0 +1,84 @@
+"""Wall-clock timing for the *offline* perf layer.
+
+Everything simulated in this library runs on the engine's integer-µs
+clock, and the determinism linter (``tools/lint``) bans wall-clock reads
+in the restricted layers — including ``repro/perf/``. This module is the
+single sanctioned exception (see ``EXEMPT_SUFFIXES`` in
+``tools.lint.rules``): offline planning and the experiment runner are
+host-side computations whose *cost* is the thing being measured, so
+``time.perf_counter`` is the correct instrument here, exactly as it is
+in the E7 benchmark.
+
+Keep every wall-clock read in this file. Code elsewhere in the perf
+layer takes a :class:`Stopwatch` (or a plain float) so it stays lintable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict
+
+
+class Stopwatch:
+    """Cumulative wall-clock timer with split support.
+
+    >>> watch = Stopwatch()
+    >>> ... work ...
+    >>> watch.elapsed_s()
+    0.42
+    """
+
+    __slots__ = ("_start", "_laps")
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+        self._laps: Dict[str, float] = {}
+
+    def elapsed_s(self) -> float:
+        """Seconds since construction (or the last :meth:`restart`)."""
+        return time.perf_counter() - self._start
+
+    def restart(self) -> None:
+        self._start = time.perf_counter()
+
+    def lap(self, label: str) -> float:
+        """Record the current elapsed time under ``label`` and return it."""
+        elapsed = self.elapsed_s()
+        self._laps[label] = elapsed
+        return elapsed
+
+    @property
+    def laps(self) -> Dict[str, float]:
+        return dict(self._laps)
+
+
+def wall_s() -> float:
+    """A monotonic wall-clock reading in seconds (for manual deltas)."""
+    return time.perf_counter()
+
+
+def write_bench_json(path: str, payload: Dict[str, Any]) -> None:
+    """Write one ``BENCH_*.json`` artifact atomically.
+
+    The perf trajectory files (``BENCH_planner.json``,
+    ``BENCH_suite.json``) are consumed by CI and by humans diffing runs,
+    so they are written sorted-keys and indented, via a temp file +
+    rename so a crashed run never leaves a half-written artifact.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp = path + ".tmp"
+    with open(tmp, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    os.replace(tmp, path)
+
+
+def append_jsonl(path: str, record: Dict[str, Any]) -> None:
+    """Append one JSON record to a ``.jsonl`` stats file."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "a") as f:
+        f.write(json.dumps(record, sort_keys=True) + "\n")

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable
 
 from .random import DeterministicRandom
@@ -29,25 +28,42 @@ class SimulationError(Exception):
     """Raised for invalid uses of the simulation engine (e.g. past events)."""
 
 
-@dataclass(order=True)
 class _Event:
-    time: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    """One queue entry. ``__slots__`` keeps the per-event footprint small —
+    long runs allocate one of these per message hop and per timer."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled", "fired")
+
+    def __init__(self, time: int, seq: int,
+                 callback: Callable[[], None]) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.fired = False
+
+    def __lt__(self, other: "_Event") -> bool:
+        # Total order: timestamp, then insertion sequence (tie-break).
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
 
 class EventHandle:
     """Handle returned by :meth:`Simulator.call_at`; allows cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_sim", "_event")
 
-    def __init__(self, event: _Event) -> None:
+    def __init__(self, sim: "Simulator", event: _Event) -> None:
+        self._sim = sim
         self._event = event
 
     def cancel(self) -> None:
-        """Prevent the event from firing. Safe to call more than once."""
-        self._event.cancelled = True
+        """Prevent the event from firing. Safe to call more than once
+        (and after the event has already fired)."""
+        if not self._event.cancelled and not self._event.fired:
+            self._event.cancelled = True
+            self._sim._on_cancel()
 
     @property
     def cancelled(self) -> bool:
@@ -69,6 +85,11 @@ class Simulator:
         #: Number of events executed so far (for diagnostics).
         self.events_executed = 0
         self._running = False
+        #: Live (non-cancelled) events in the queue; kept exact so
+        #: :meth:`pending_events` is O(1) instead of an O(n) scan.
+        self._live = 0
+        #: Cancelled events still sitting in the heap awaiting a pop.
+        self._cancelled_in_queue = 0
 
     @property
     def now(self) -> int:
@@ -84,9 +105,10 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at {time} (now is {self._now})"
             )
-        event = _Event(time=time, seq=next(self._seq), callback=callback)
+        event = _Event(time, next(self._seq), callback)
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        self._live += 1
+        return EventHandle(self, event)
 
     def call_after(self, delay: int, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` after a relative ``delay`` (µs, ≥ 0)."""
@@ -94,10 +116,24 @@ class Simulator:
             raise SimulationError(f"negative delay: {delay}")
         return self.call_at(self._now + delay, callback)
 
+    def _on_cancel(self) -> None:
+        """Bookkeeping for one cancellation; compacts the heap when
+        cancelled entries outnumber live ones (they would otherwise sit
+        in the heap until popped — a leak for workloads that schedule
+        many guard timers and cancel most of them)."""
+        self._live -= 1
+        self._cancelled_in_queue += 1
+        if self._cancelled_in_queue * 2 > len(self._queue) \
+                and len(self._queue) >= 64:
+            self._queue = [e for e in self._queue if not e.cancelled]
+            heapq.heapify(self._queue)
+            self._cancelled_in_queue = 0
+
     def peek_next_time(self) -> int:
         """Time of the next pending (non-cancelled) event, or NEVER."""
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)
+            self._cancelled_in_queue -= 1
         return self._queue[0].time if self._queue else NEVER
 
     def step(self) -> bool:
@@ -105,7 +141,10 @@ class Simulator:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._cancelled_in_queue -= 1
                 continue
+            self._live -= 1
+            event.fired = True
             self._now = event.time
             self.events_executed += 1
             event.callback()
@@ -134,5 +173,5 @@ class Simulator:
             pass
 
     def pending_events(self) -> int:
-        """Number of pending (non-cancelled) events."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of pending (non-cancelled) events. O(1)."""
+        return self._live

@@ -9,8 +9,9 @@ the analysis peeks at simulator internals.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Any, Iterator, List, Optional, Type, TypeVar
+from typing import Any, Dict, Iterator, List, Optional, Type, TypeVar
 
 
 @dataclass
@@ -123,10 +124,18 @@ E = TypeVar("E", bound=TraceEvent)
 
 
 class Trace:
-    """An append-only, time-ordered event log for one run."""
+    """An append-only, time-ordered event log for one run.
+
+    Events are indexed by concrete type as they are recorded, so the
+    analysis layer's ``of_kind`` queries (issued per flow, per node, per
+    metric) cost O(matches) instead of rescanning the whole log each
+    time. ``between`` binary-searches the time-ordered log.
+    """
 
     def __init__(self) -> None:
         self._events: List[TraceEvent] = []
+        #: Per-concrete-type index, maintained on record().
+        self._by_kind: Dict[type, List[TraceEvent]] = {}
 
     def record(self, event: TraceEvent) -> None:
         if self._events and event.time < self._events[-1].time:
@@ -137,6 +146,7 @@ class Trace:
                 f"(last was {self._events[-1].time})"
             )
         self._events.append(event)
+        self._by_kind.setdefault(type(event), []).append(event)
 
     def __len__(self) -> int:
         return len(self._events)
@@ -146,11 +156,19 @@ class Trace:
 
     def of_kind(self, kind: Type[E]) -> List[E]:
         """All events of exactly the given type, in time order."""
-        return [e for e in self._events if type(e) is kind]
+        # Copy so later record() calls don't mutate what callers hold.
+        return list(self._by_kind.get(kind, ()))  # type: ignore[arg-type]
+
+    def count(self, kind: Type[E]) -> int:
+        """Number of events of exactly the given type. O(1)."""
+        return len(self._by_kind.get(kind, ()))
 
     def between(self, start: int, end: int) -> List[TraceEvent]:
         """Events with start ≤ time < end."""
-        return [e for e in self._events if start <= e.time < end]
+        events = self._events
+        lo = bisect_left(events, start, key=lambda e: e.time)
+        hi = bisect_left(events, end, key=lambda e: e.time)
+        return events[lo:hi]
 
     def outputs(self) -> List[OutputProduced]:
         return self.of_kind(OutputProduced)
@@ -159,5 +177,5 @@ class Trace:
         return self.of_kind(FaultInjected)
 
     def last(self, kind: Type[E]) -> Optional[E]:
-        events = self.of_kind(kind)
-        return events[-1] if events else None
+        events = self._by_kind.get(kind)
+        return events[-1] if events else None  # type: ignore[return-value]

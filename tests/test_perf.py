@@ -1,0 +1,284 @@
+"""The repro.perf layer: fan-out determinism, cache, memo, hot paths.
+
+The contract under test, in decreasing strictness:
+
+* process fan-out is byte-invisible — ``build_strategy_fanout`` with any
+  worker count serialises identically to the legacy serial builder;
+* the on-disk cache is content-keyed — hits round-trip losslessly, any
+  planner-version bump (or input change) invalidates;
+* symmetry memoisation is *valid*, not byte-identical — memoised
+  strategies cover the same patterns, pass ``repro verify --strict``,
+  and are themselves jobs-invariant;
+* the Trace per-kind indices and the engine's O(1) live-event counter
+  agree with the naive O(n) definitions they replaced.
+"""
+
+import pytest
+
+from repro import BTRConfig, BTRSystem
+from repro.core.planner import build_strategy, strategy_to_json
+from repro.net import Router, full_mesh_topology, ring_topology
+from repro.perf import (
+    PlanningStats,
+    StrategyCache,
+    build_strategy_fanout,
+    candidates_symmetric,
+    strategy_cache_key,
+)
+from repro.sim.engine import Simulator
+from repro.sim.trace import Custom, MessageSent, OutputProduced, Trace
+from repro.workload import industrial_workload, pipeline_workload
+
+
+def planning_inputs(n_nodes=6, workload=None):
+    workload = workload or industrial_workload()
+    topology = full_mesh_topology(n_nodes, bandwidth=1e8)
+    topology.place_endpoints_round_robin(workload.sources, workload.sinks)
+    return workload, topology, Router(topology)
+
+
+# ------------------------------------------------------------- fan-out
+
+
+class TestFanoutDeterminism:
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_byte_identical_to_serial(self, jobs):
+        workload, topology, router = planning_inputs()
+        serial = build_strategy(workload, topology, router, f=1)
+        fanned = build_strategy_fanout(workload, topology, router, f=1,
+                                       jobs=jobs)
+        assert strategy_to_json(fanned) == strategy_to_json(serial)
+
+    def test_byte_identical_at_f2(self):
+        workload, topology, router = planning_inputs()
+        serial = build_strategy(workload, topology, router, f=2)
+        fanned = build_strategy_fanout(workload, topology, router, f=2,
+                                       jobs=2)
+        assert strategy_to_json(fanned) == strategy_to_json(serial)
+
+    def test_stats_filled(self):
+        workload, topology, router = planning_inputs()
+        stats = PlanningStats()
+        strategy = build_strategy_fanout(workload, topology, router, f=1,
+                                         jobs=2, stats=stats)
+        assert stats.jobs == 2
+        assert stats.plans_total == len(strategy)
+        assert stats.plans_computed == len(strategy)
+        assert stats.plans_memoised == 0
+
+
+# --------------------------------------------------------------- cache
+
+
+class TestStrategyCache:
+    def test_miss_then_hit_round_trips(self, tmp_path):
+        workload, topology, router = planning_inputs()
+        strategy = build_strategy(workload, topology, router, f=1)
+        cache = StrategyCache(str(tmp_path))
+        key = strategy_cache_key(workload, topology, 1, seed=0)
+        assert cache.load(key) is None
+        cache.store(key, strategy)
+        cached = cache.load(key)
+        assert cached is not None
+        assert strategy_to_json(cached) == strategy_to_json(strategy)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_key_covers_inputs(self):
+        workload, topology, _ = planning_inputs()
+        base = strategy_cache_key(workload, topology, 1, seed=0)
+        assert strategy_cache_key(workload, topology, 1, seed=1) != base
+        assert strategy_cache_key(workload, topology, 2, seed=0) != base
+        assert strategy_cache_key(workload, topology, 1, seed=0,
+                                  memo=True) != base
+        other = pipeline_workload()
+        topology.place_endpoints_round_robin(other.sources, other.sinks)
+        assert strategy_cache_key(other, topology, 1, seed=0) != base
+
+    def test_planner_version_bump_invalidates(self, monkeypatch):
+        workload, topology, _ = planning_inputs()
+        before = strategy_cache_key(workload, topology, 1, seed=0)
+        import repro.perf.cache as cache_module
+        monkeypatch.setattr(cache_module, "PLANNER_VERSION",
+                            cache_module.PLANNER_VERSION + 1)
+        assert strategy_cache_key(workload, topology, 1, seed=0) != before
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = StrategyCache(str(tmp_path))
+        key = "0" * 64
+        (tmp_path / f"{key}.json").write_text("{not json")
+        assert cache.load(key) is None
+        assert cache.misses == 1
+
+    def test_system_prepare_hits_across_fresh_systems(self, tmp_path):
+        def prepared():
+            system = BTRSystem(
+                industrial_workload(), full_mesh_topology(6),
+                BTRConfig(f=1, cache=str(tmp_path)))
+            system.prepare()
+            return system
+
+        first = prepared()
+        assert first.plan_stats is not None
+        assert not first.plan_stats.cache_hit
+        second = prepared()
+        assert second.plan_stats.cache_hit
+        assert (strategy_to_json(second.strategy)
+                == strategy_to_json(first.strategy))
+        # The cached strategy powers a real run.
+        result = second.run(n_periods=3)
+        assert result.n_periods == 3
+
+    def test_default_config_skips_perf_layer(self):
+        system = BTRSystem(industrial_workload(), full_mesh_topology(6),
+                           BTRConfig(f=1))
+        system.prepare()
+        assert system.plan_stats is None
+
+
+# ---------------------------------------------------------------- memo
+
+
+class TestSymmetryMemo:
+    def test_full_mesh_is_symmetric_ring_is_not(self):
+        workload, mesh, _ = planning_inputs()
+        eligible = sorted(set(mesh.nodes)
+                          - set(mesh.endpoint_map.values()))
+        assert candidates_symmetric(mesh, eligible)
+        ring = ring_topology(6, bandwidth=1e8)
+        ring.place_endpoints_round_robin(workload.sources, workload.sinks)
+        ring_eligible = sorted(set(ring.nodes)
+                               - set(ring.endpoint_map.values()))
+        assert not candidates_symmetric(ring, ring_eligible)
+
+    def test_memo_covers_same_patterns_and_verifies_strict(self):
+        from repro.verify import verify_strategy
+
+        workload, topology, router = planning_inputs()
+        stats = PlanningStats()
+        memo = build_strategy_fanout(workload, topology, router, f=2,
+                                     memo=True, stats=stats)
+        exhaustive = build_strategy(workload, topology, router, f=2)
+        assert memo.patterns() == exhaustive.patterns()
+        assert stats.symmetric
+        assert stats.plans_memoised > 0
+        assert stats.plans_computed + stats.plans_memoised == len(memo)
+        report = verify_strategy(memo, topology, router=router)
+        assert report.exit_code(strict=True) == 0
+
+    def test_memo_is_jobs_invariant(self):
+        workload, topology, router = planning_inputs()
+        one = build_strategy_fanout(workload, topology, router, f=1,
+                                    jobs=1, memo=True)
+        two = build_strategy_fanout(workload, topology, router, f=1,
+                                    jobs=2, memo=True)
+        assert strategy_to_json(one) == strategy_to_json(two)
+
+    def test_memo_skipped_on_asymmetric_topology(self):
+        workload = industrial_workload()
+        topology = ring_topology(6, bandwidth=1e8)
+        topology.place_endpoints_round_robin(workload.sources,
+                                             workload.sinks)
+        router = Router(topology)
+        stats = PlanningStats()
+        memo = build_strategy_fanout(workload, topology, router, f=1,
+                                     memo=True, stats=stats)
+        serial = build_strategy(workload, topology, router, f=1)
+        assert not stats.symmetric
+        assert stats.plans_memoised == 0
+        assert strategy_to_json(memo) == strategy_to_json(serial)
+
+
+# ------------------------------------------------------- trace indices
+
+
+class TestTraceIndices:
+    def test_interleaved_record_and_queries_match_naive(self):
+        trace = Trace()
+        shadow = []
+
+        def naive(kind):
+            return [e for e in shadow if type(e) is kind]
+
+        for i in range(50):
+            sent = MessageSent(time=i * 10, src="a", dst="b",
+                               kind="data", size_bits=8, flow="f")
+            trace.record(sent)
+            shadow.append(sent)
+            if i % 3 == 0:
+                out = OutputProduced(time=i * 10 + 1, sink="b", flow="f",
+                                     period_index=i, value=i,
+                                     deadline=i * 10 + 5, criticality="A")
+                trace.record(out)
+                shadow.append(out)
+            # Query between writes: indices must always be current.
+            assert trace.of_kind(MessageSent) == naive(MessageSent)
+            assert trace.of_kind(OutputProduced) == naive(OutputProduced)
+            assert trace.count(MessageSent) == len(naive(MessageSent))
+            assert trace.last(type(shadow[-1])) is shadow[-1]
+        assert trace.of_kind(Custom) == []
+        assert trace.count(Custom) == 0
+        assert trace.last(Custom) is None
+
+    def test_between_uses_time_slicing(self):
+        trace = Trace()
+        for i in range(20):
+            trace.record(Custom(time=i * 100, label="x", data={}))
+        window = trace.between(500, 1500)
+        assert [e.time for e in window] == [500 + 100 * k for k in range(10)]
+
+    def test_of_kind_returns_a_copy(self):
+        trace = Trace()
+        trace.record(Custom(time=0, label="x", data={}))
+        trace.of_kind(Custom).clear()
+        assert trace.count(Custom) == 1
+
+
+# ------------------------------------------------------- engine events
+
+
+class TestEngineEventAccounting:
+    def test_pending_events_tracks_cancels(self):
+        sim = Simulator(seed=0)
+        handles = [sim.call_at(10 * (i + 1), lambda: None)
+                   for i in range(10)]
+        assert sim.pending_events() == 10
+        for h in handles[:4]:
+            h.cancel()
+        assert sim.pending_events() == 6
+        # Double-cancel must not double-count.
+        handles[0].cancel()
+        assert sim.pending_events() == 6
+
+    def test_cancel_after_fire_is_a_noop(self):
+        sim = Simulator(seed=0)
+        fired = []
+        handle = sim.call_at(5, lambda: fired.append(True))
+        sim.run_until(10)
+        assert fired
+        assert sim.pending_events() == 0
+        handle.cancel()
+        assert sim.pending_events() == 0
+
+    def test_heap_compaction_keeps_semantics(self):
+        sim = Simulator(seed=0)
+        fired = []
+        handles = []
+        for i in range(200):
+            handles.append(
+                sim.call_at(i + 1, lambda i=i: fired.append(i)))
+        # Cancel well over half: compaction must trigger and the
+        # survivors must still fire in order.
+        for h in handles[:150]:
+            h.cancel()
+        assert sim.pending_events() == 50
+        assert len(sim._queue) < 200  # compacted
+        sim.run_until(1000)
+        assert fired == list(range(150, 200))
+
+    def test_peek_skips_cancelled_head(self):
+        sim = Simulator(seed=0)
+        first = sim.call_at(5, lambda: None)
+        sim.call_at(7, lambda: None)
+        first.cancel()
+        assert sim.peek_next_time() == 7
+        assert sim.pending_events() == 1

@@ -15,10 +15,13 @@ numbers:
 * ``float-eq`` — ``==``/``!=`` against float literals is brittle for
   deadline arithmetic; the codebase keeps time in integer µs.
 
-The first two are scoped to ``src/repro/sim`` and ``src/repro/core``
-(the determinism-critical layers); the clock/RNG façades themselves
-(``sim/time.py``, ``sim/clock.py``, ``sim/random.py``) are exempt, being
-the sanctioned wrappers. The last two apply everywhere.
+The first two are scoped to ``src/repro/sim``, ``src/repro/core`` and
+``src/repro/perf`` (the determinism-critical layers); the clock/RNG
+façades themselves (``sim/time.py``, ``sim/clock.py``,
+``sim/random.py``) are exempt, being the sanctioned wrappers, as is
+``perf/timing.py`` — the one module allowed to read the host clock,
+because offline planning cost is precisely what it measures. The last
+two rules apply everywhere.
 """
 
 from __future__ import annotations
@@ -29,10 +32,10 @@ from typing import Iterator, Tuple
 Hit = Tuple[int, int, str]
 
 #: Path fragments of the determinism-critical layers (posix-style).
-RESTRICTED_FRAGMENTS = ("repro/sim/", "repro/core/")
+RESTRICTED_FRAGMENTS = ("repro/sim/", "repro/core/", "repro/perf/")
 #: Sanctioned wrapper modules, exempt from the scoped rules.
 EXEMPT_SUFFIXES = ("repro/sim/time.py", "repro/sim/random.py",
-                   "repro/sim/clock.py")
+                   "repro/sim/clock.py", "repro/perf/timing.py")
 
 
 def _posix(path: str) -> str:

@@ -8,18 +8,39 @@ runs the benchmark suite (which writes ``benchmarks/results/*.txt``) and
 stitches the results into ``benchmarks/results/REPORT.txt`` in experiment
 order — the file EXPERIMENTS.md quotes from.
 
-Usage:  python tools/run_experiments.py [--skip-run] [--skip-verify]
+The suite is sharded per benchmark file: ``--jobs N`` runs up to N
+pytest shards concurrently, and one strategy cache (``--cache DIR``,
+default ``benchmarks/.strategy_cache``; ``--no-cache`` disables) is
+threaded through every shard via ``$REPRO_STRATEGY_CACHE``, so a rerun
+with a warm cache skips all replanning. Two machine-readable perf
+trajectories land next to the report:
+
+* ``BENCH_suite.json`` — wall time per experiment file and for the
+  whole suite, with the jobs/cache configuration that produced them;
+* ``BENCH_planner.json`` — aggregated offline-planning stats (prepares,
+  cache hit rate, plans computed vs memoised, plans/sec) from the
+  ``planner_stats.jsonl`` stream the benchmark harness appends to.
+
+Usage:  python tools/run_experiments.py [--jobs N] [--only SUBSTR]
+                [--cache DIR | --no-cache] [--skip-run] [--skip-verify]
 """
 
 from __future__ import annotations
 
 import argparse
+import glob
+import json
 import os
 import subprocess
 import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 RESULTS = os.path.join(REPO, "benchmarks", "results")
+PLANNER_STATS = os.path.join(RESULTS, "planner_stats.jsonl")
+CACHE_ENV_VAR = "REPRO_STRATEGY_CACHE"
+DEFAULT_CACHE = os.path.join(REPO, "benchmarks", ".strategy_cache")
 
 ORDER = [
     "e1_recovery_bound",
@@ -53,12 +74,19 @@ VERIFY_SCENARIOS = [
 ]
 
 
-def preflight_verify() -> int:
-    """Statically verify the canonical experiment strategies."""
+def suite_env(cache_dir: str) -> dict:
+    """The environment every verification/benchmark subprocess gets."""
     env = dict(os.environ)
     src = os.path.join(REPO, "src")
     existing = env.get("PYTHONPATH")
     env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    # Empty string = caching disabled (the harness honours set-but-empty).
+    env[CACHE_ENV_VAR] = cache_dir
+    return env
+
+
+def preflight_verify(env: dict) -> int:
+    """Statically verify the canonical experiment strategies."""
     for workload, topology, f in VERIFY_SCENARIOS:
         print(f"verifying mode graph: {workload} on {topology} (f={f})...")
         proc = subprocess.run(
@@ -75,31 +103,87 @@ def preflight_verify() -> int:
     return 0
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--skip-run", action="store_true",
-                        help="collate existing results without re-running")
-    parser.add_argument("--skip-verify", action="store_true",
-                        help="skip the static mode-graph verification "
-                             "pre-flight")
-    args = parser.parse_args()
+def benchmark_files(only: str) -> list:
+    files = sorted(glob.glob(os.path.join(REPO, "benchmarks", "test_*.py")))
+    if only:
+        files = [f for f in files if only in os.path.basename(f)]
+    return files
 
-    if not args.skip_verify and not args.skip_run:
-        rc = preflight_verify()
-        if rc != 0:
-            return rc
 
-    if not args.skip_run:
-        print("running benchmark suite (regenerates all experiments)...")
-        proc = subprocess.run(
-            [sys.executable, "-m", "pytest", "benchmarks/",
-             "--benchmark-only", "-q", "-p", "no:cacheprovider"],
-            cwd=REPO,
-        )
-        if proc.returncode != 0:
-            print("benchmark suite failed", file=sys.stderr)
-            return proc.returncode
+def run_shard(path: str, env: dict) -> dict:
+    """One pytest shard: a single benchmark file, timed wall-to-wall."""
+    rel = os.path.relpath(path, REPO)
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", rel, "--benchmark-only", "-q",
+         "-p", "no:cacheprovider"],
+        cwd=REPO, env=env, capture_output=True, text=True,
+    )
+    wall = time.perf_counter() - start
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout + proc.stderr)
+    return {"file": rel, "wall_s": round(wall, 3),
+            "returncode": proc.returncode}
 
+
+def run_suite(files: list, jobs: int, env: dict) -> dict:
+    start = time.perf_counter()
+    if jobs > 1:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            shards = list(pool.map(lambda p: run_shard(p, env), files))
+    else:
+        shards = [run_shard(p, env) for p in files]
+    return {
+        "jobs": jobs,
+        "cache": env.get(CACHE_ENV_VAR) or None,
+        "total_wall_s": round(time.perf_counter() - start, 3),
+        "experiments": shards,
+    }
+
+
+def aggregate_planner_stats() -> dict:
+    """Collapse the harness's per-prepare jsonl into one summary."""
+    records = []
+    try:
+        with open(PLANNER_STATS) as f:
+            for line in f:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+    except OSError:
+        pass
+    hits = sum(1 for r in records if r.get("cache_hit"))
+    # Only prepares that consulted a cache (key recorded) enter the rate;
+    # E7 deliberately plans uncached to measure raw planner cost.
+    cached = sum(1 for r in records if r.get("cache_key"))
+    computed = sum(r.get("plans_computed", 0) for r in records)
+    memoised = sum(r.get("plans_memoised", 0) for r in records)
+    planning_wall = sum(r.get("wall_s", 0.0) for r in records)
+    prepares = len(records)
+    return {
+        "prepares": prepares,
+        "cache_hits": hits,
+        "cache_misses": cached - hits,
+        "cache_hit_rate": round(hits / cached, 3) if cached else None,
+        "plans_computed": computed,
+        "plans_memoised": memoised,
+        "plans_total": sum(r.get("plans_total", 0) for r in records),
+        "planning_wall_s": round(planning_wall, 3),
+        "plans_per_sec": (round((computed + memoised) / planning_wall, 1)
+                          if planning_wall > 0 else None),
+        "jobs_seen": sorted({r.get("jobs", 1) for r in records}),
+    }
+
+
+def write_json(path: str, payload: dict) -> None:
+    tmp = path + ".tmp"
+    with open(tmp, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    os.replace(tmp, path)
+
+
+def collate_report(only: str) -> int:
     missing = []
     sections = []
     for name in ORDER:
@@ -125,8 +209,69 @@ def main() -> int:
     if missing:
         print(f"WARNING: missing results: {', '.join(missing)}",
               file=sys.stderr)
-        return 1
+        # A filtered run legitimately regenerates only a subset.
+        return 0 if only else 1
     return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="benchmark shards to run concurrently "
+                             "(one pytest process per benchmark file)")
+    parser.add_argument("--only", default="", metavar="SUBSTR",
+                        help="run only benchmark files whose name "
+                             "contains SUBSTR (e.g. e7)")
+    parser.add_argument("--cache", default=DEFAULT_CACHE, metavar="DIR",
+                        help="shared strategy cache directory "
+                             "(default: benchmarks/.strategy_cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the strategy cache (replan "
+                             "everything)")
+    parser.add_argument("--skip-run", action="store_true",
+                        help="collate existing results without re-running")
+    parser.add_argument("--skip-verify", action="store_true",
+                        help="skip the static mode-graph verification "
+                             "pre-flight")
+    args = parser.parse_args()
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
+    cache_dir = "" if args.no_cache else args.cache
+    env = suite_env(cache_dir)
+
+    if not args.skip_verify and not args.skip_run:
+        rc = preflight_verify(env)
+        if rc != 0:
+            return rc
+
+    if not args.skip_run:
+        files = benchmark_files(args.only)
+        if not files:
+            print(f"no benchmark files match --only {args.only!r}",
+                  file=sys.stderr)
+            return 2
+        os.makedirs(RESULTS, exist_ok=True)
+        # Fresh planning-stats stream for this suite run.
+        with open(PLANNER_STATS, "w"):
+            pass
+        print(f"running {len(files)} benchmark shards "
+              f"(jobs={args.jobs}, cache="
+              f"{cache_dir or 'disabled'})...")
+        suite = run_suite(files, args.jobs, env)
+        write_json(os.path.join(RESULTS, "BENCH_suite.json"), suite)
+        write_json(os.path.join(RESULTS, "BENCH_planner.json"),
+                   aggregate_planner_stats())
+        print(f"suite: {suite['total_wall_s']}s wall over "
+              f"{len(files)} shards; perf trajectory in "
+              f"BENCH_suite.json / BENCH_planner.json")
+        failed = [s for s in suite["experiments"] if s["returncode"] != 0]
+        if failed:
+            print("benchmark shards failed: "
+                  + ", ".join(s["file"] for s in failed), file=sys.stderr)
+            return 1
+
+    return collate_report(args.only)
 
 
 if __name__ == "__main__":

@@ -31,6 +31,11 @@ FAULT_AT = 220_000
 #: aggregates it into ``BENCH_planner.json`` afterwards.
 PLANNER_STATS_PATH = os.path.join(RESULTS_DIR, "planner_stats.jsonl")
 
+#: Per-run observability stats (fault timelines + drop counters),
+#: appended by :func:`record_obs`; ``tools/run_experiments.py``
+#: aggregates it into ``BENCH_obs.json`` after a suite run.
+OBS_STATS_PATH = os.path.join(RESULTS_DIR, "obs_stats.jsonl")
+
 
 def harness_cache_dir() -> Optional[str]:
     """The strategy-cache directory the benchmarks share.
@@ -57,6 +62,31 @@ def record_planning(system: BTRSystem, label: Optional[str] = None) -> None:
         label = os.environ.get("PYTEST_CURRENT_TEST", "adhoc").split(" ")[0]
     append_jsonl(PLANNER_STATS_PATH, {"experiment": label,
                                       **stats.to_dict()})
+
+
+def record_obs(result, label: Optional[str] = None,
+               timelines=None) -> list:
+    """Append one run's reconstructed fault timelines to the obs stream.
+
+    Returns the timelines so experiments can assert on them (notably the
+    phase-sum invariant) without reconstructing twice.
+    """
+    from repro.obs import reconstruct_timelines
+
+    if timelines is None:
+        timelines = reconstruct_timelines(result)
+    if label is None:
+        label = os.environ.get("PYTEST_CURRENT_TEST", "adhoc").split(" ")[0]
+    counters = (result.metrics or {}).get("counters", {})
+    dropped = {k: v for k, v in counters.items()
+               if k.startswith("messages_dropped")}
+    for timeline in timelines:
+        append_jsonl(OBS_STATS_PATH, {
+            "experiment": label,
+            "messages_dropped": dropped,
+            **timeline.to_dict(),
+        })
+    return timelines
 
 
 def write_result(name: str, text: str) -> None:

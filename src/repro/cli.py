@@ -21,6 +21,11 @@ Four commands:
     :mod:`repro.verify`: schedule soundness, placement validity,
     route/bandwidth feasibility, mode-graph completeness. Exits
     nonzero on any error finding (and on warnings with ``--strict``).
+
+``trace``
+    Render a saved observability report (``run --obs FILE``): the
+    per-fault recovery phase breakdown, the budget-attribution table,
+    and any dropped-message counters.
 """
 
 from __future__ import annotations
@@ -153,6 +158,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scenario", default=None,
                      help="stage a named scenario (see repro.faults."
                           "scenarios) instead of --fault")
+    run.add_argument("--obs", metavar="FILE", default=None,
+                     help="export the observability report (recovery "
+                          "timelines + metrics) as JSON; render it with "
+                          "`repro trace FILE`")
 
     compare = sub.add_parser("compare",
                              help="BTR vs baselines through one fault")
@@ -172,6 +181,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="treat warnings as errors")
     verify.add_argument("--rules", action="store_true",
                         help="print the rule catalogue and exit")
+
+    trace = sub.add_parser(
+        "trace", help="render a saved observability report")
+    trace.add_argument("report", metavar="RUN_JSON",
+                       help="a report written by `repro run --obs FILE`")
     return parser
 
 
@@ -262,7 +276,24 @@ def cmd_run(args) -> int:
         from .analysis import render_timeline
         print("\nincident timeline:")
         print(render_timeline(result))
+    if args.obs:
+        from .obs import export_run
+        export_run(result, args.obs)
+        print(f"observability report written to {args.obs} "
+              f"(render with: repro trace {args.obs})")
     return 0 if verdict.holds else 1
+
+
+def cmd_trace(args) -> int:
+    from .obs import load_report, render_phase_report
+
+    try:
+        report = load_report(args.report)
+    except (OSError, ValueError) as exc:
+        print(f"repro trace: cannot read report: {exc}", file=sys.stderr)
+        return 2
+    print(render_phase_report(report))
+    return 0
 
 
 def cmd_verify(args) -> int:
@@ -358,6 +389,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": cmd_run,
         "compare": cmd_compare,
         "verify": cmd_verify,
+        "trace": cmd_trace,
     }[args.command]
     return handler(args)
 

@@ -78,7 +78,8 @@ class BlameTracker:
 
     def __init__(self, slot_threshold: int = DEFAULT_SLOT_THRESHOLD,
                  min_declarers: int = 2,
-                 liveness: Optional[Callable[[str], bool]] = None) -> None:
+                 liveness: Optional[Callable[[str], bool]] = None,
+                 metrics=None) -> None:
         if slot_threshold < 1 or min_declarers < 1:
             raise ValueError("thresholds must be >= 1")
         self.slot_threshold = slot_threshold
@@ -86,6 +87,8 @@ class BlameTracker:
         #: Optional control-plane liveness oracle (heartbeats). Falls back
         #: to "has issued declarations" when absent.
         self.liveness = liveness
+        #: Optional :class:`~repro.obs.metrics.MetricsRegistry`.
+        self.metrics = metrics
         self._state: Dict[str, BlameState] = {}
         self.attributed: Set[str] = set()
         self.declared_paths: Set[tuple] = set()
@@ -101,6 +104,8 @@ class BlameTracker:
         declarer = decl.signer
         self.declared_paths.add(path)
         self.seen_declarers.add(declarer)
+        if self.metrics is not None:
+            self.metrics.inc("blame_declarations")
         for node in path:
             if node == declarer:
                 continue

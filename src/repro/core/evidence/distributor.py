@@ -41,15 +41,23 @@ class EvidenceLog:
     """One node's view of the evidence stream."""
 
     def __init__(self, node: str, validator: EvidenceValidator,
-                 slander_threshold: int = DEFAULT_SLANDER_THRESHOLD) -> None:
+                 slander_threshold: int = DEFAULT_SLANDER_THRESHOLD,
+                 metrics=None) -> None:
         self.node = node
         self.validator = validator
         self.slander_threshold = slander_threshold
+        #: Optional :class:`~repro.obs.metrics.MetricsRegistry`; verdicts
+        #: are counted as ``evidence_verdicts{reason}`` when present.
+        self.metrics = metrics
         self._seen: Set[str] = set()
         self.accepted: List[Evidence] = []
         self.invalid_counts: Dict[str, int] = {}
         self._declarations_seen: Set[str] = set()
         self.declarations: List[AuthenticatedStatement] = []
+
+    def _count(self, reason: str) -> None:
+        if self.metrics is not None:
+            self.metrics.inc("evidence_verdicts", reason=reason)
 
     # ------------------------------------------------------------ evidence
 
@@ -68,28 +76,45 @@ class EvidenceLog:
         return True
 
     def on_evidence(self, evidence: Evidence) -> DistributionDecision:
-        """Convenience: dedup gate + evaluation in one call."""
+        """Convenience: dedup gate + evaluation in one call.
+
+        A record only *stays* seen once it reaches a terminal verdict
+        (accepted / slander-counted / bad signature):
+        :meth:`evaluate_evidence` un-marks ``unsupported_soft`` rejects,
+        so the same record re-submitted after a mode switch — when the
+        plans should agree again — is genuinely re-evaluated instead of
+        bouncing off the dedup gate forever.
+        """
         if not self.note_evidence(evidence):
+            self._count("duplicate")
             return DistributionDecision(accept=False, forward=False,
                                         reason="duplicate")
         return self.evaluate_evidence(evidence)
 
     def evaluate_evidence(self, evidence: Evidence) -> DistributionDecision:
         """Validate a (new) record and decide accept/forward/implicate."""
+        eid = evidence.evidence_id
         if not self.validator.cheap_check(evidence):
             # Improperly signed: cheap reject; nothing attributable (the
             # "signer" field itself is unauthenticated here).
+            self._seen.add(eid)
+            self._count("bad_signature")
             return DistributionDecision(accept=False, forward=False,
                                         reason="bad_signature")
         if not self.validator.validate(evidence):
             if evidence.kind not in self.validator.OBJECTIVE_KINDS:
                 # Plan-dependent kind: this node's current plan may simply
                 # disagree with the detector's (mid-switch confusion). Not
-                # slander — the caller may retry after its next switch.
+                # slander, and *not a terminal verdict* — un-mark the
+                # record so a retry after the next switch re-evaluates it.
+                self._seen.discard(eid)
+                self._count("unsupported_soft")
                 return DistributionDecision(
                     accept=False, forward=False, reason="unsupported_soft",
                 )
             # Properly signed but objectively unsupported: slander.
+            self._seen.add(eid)
+            self._count("unsupported")
             signer = evidence.detector
             count = self.invalid_counts.get(signer, 0) + 1
             self.invalid_counts[signer] = count
@@ -98,6 +123,8 @@ class EvidenceLog:
                 accept=False, forward=False, implicate=implicate,
                 reason="unsupported",
             )
+        self._seen.add(eid)
+        self._count("valid")
         self.accepted.append(evidence)
         return DistributionDecision(
             accept=True, forward=True, implicate=evidence.accused,

@@ -42,25 +42,36 @@ class ModeSwitcher:
     """One node's switching state machine."""
 
     def __init__(self, strategy: Strategy, period: int,
-                 switch_lead: int) -> None:
+                 switch_lead: int, metrics=None) -> None:
         self.strategy = strategy
         self.period = period
         self.switch_lead = switch_lead
+        #: Optional :class:`~repro.obs.metrics.MetricsRegistry`.
+        self.metrics = metrics
         self.fault_set = FaultSet()
         self.current: Plan = strategy.nominal
+
+    def _count(self, name: str, **labels) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name, **labels)
 
     def on_implicated(self, node: str, evidence_time: int, now: int
                       ) -> Optional[PendingSwitch]:
         """Process an implication. Returns the switch to schedule, or None
         if the fault was already known / the plan does not change."""
         if not self.fault_set.add(node):
+            self._count("implications_ignored", reason="known_fault")
             return None
         target = self.strategy.plan_for(self.fault_set.snapshot())
         if target.mode == self.current.mode:
+            self._count("implications_ignored", reason="same_mode")
             return None
         at = switch_boundary(evidence_time, self.switch_lead, self.period)
         if at < now:
             at = now  # late learner: switch immediately
+            self._count("mode_switches_scheduled", kind="late")
+        else:
+            self._count("mode_switches_scheduled", kind="boundary")
         return PendingSwitch(at=at, plan=target)
 
     def adopt(self, plan: Plan) -> None:

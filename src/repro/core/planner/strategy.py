@@ -23,7 +23,7 @@ from ...faults.patterns import (
     all_patterns_up_to,
     pattern as make_pattern,
 )
-from ...net.routing import Router
+from ...net.routing import Router, RoutingError
 from ...net.topology import Topology
 from ...sched.lanes import LaneModel
 from ...workload.dataflow import DataflowGraph
@@ -149,7 +149,10 @@ class Strategy:
                         try:
                             path = router.route(fetch.source, node,
                                                 excluding=set(child))
-                        except Exception:
+                        except RoutingError:
+                            # No fetch path with the faulty nodes cut out:
+                            # this transfer simply cannot happen, so it
+                            # contributes nothing to the worst case.
                             continue
                         transfer = 0
                         for a, b in zip(path[:-1], path[1:]):

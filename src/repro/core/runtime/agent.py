@@ -36,6 +36,7 @@ from ...sim.trace import (
     ModeSwitchCompleted,
     ModeSwitchStarted,
     OutputProduced,
+    PathDeclared,
     TaskExecuted,
     TaskShed,
 )
@@ -81,6 +82,7 @@ class NodeAgent:
         self.behavior: FaultBehavior = FaultBehavior()
         self.switcher = ModeSwitcher(
             system.strategy, system.workload.period, system.switch_lead_us,
+            metrics=system.metrics,
         )
         self.plan: Plan = system.strategy.nominal
         #: Declarations older than this describe a previous plan regime
@@ -108,11 +110,13 @@ class NodeAgent:
             attribution_freshness_us=attribution_freshness,
         )
         self.log = EvidenceLog(self.node_id, self.validator,
-                               slander_threshold=self.config.slander_threshold)
+                               slander_threshold=self.config.slander_threshold,
+                               metrics=system.metrics)
         self.blame = BlameTracker(
             slot_threshold=self.config.blame_slot_threshold,
             min_declarers=self.config.blame_min_declarers,
             liveness=self._node_alive,
+            metrics=system.metrics,
         )
         #: origin -> time of last flooded heartbeat (liveness signal for
         #: the link-vs-node disambiguation in blame attribution).
@@ -786,6 +790,10 @@ class NodeAgent:
             return
         if set(route) & self.switcher.fault_set.snapshot():
             return  # known fault on the path; the switch is already coming
+        self.system.trace.record(PathDeclared(
+            time=self.sim.now, declarer=self.node_id, path=tuple(route),
+            flow=naming.base_flow(flow_copy), period_index=k,
+        ))
         decl = make_declaration(
             self.system.directory, self.node_id, route,
             naming.base_flow(flow_copy), k, self.sim.now,
@@ -855,6 +863,12 @@ class NodeAgent:
         if decision.forward:
             self._broadcast(("evidence", evidence), evidence.wire_bits(),
                             exclude=from_neighbor)
+
+    def _retry_soft_rejected(self, evidence: Evidence) -> None:
+        """Re-submit a plan-dependent record after a mode switch."""
+        if self.log.note_evidence(evidence):
+            self.system.metrics.inc("evidence_retries")
+            self._handle_evidence(evidence, from_neighbor=None)
 
     def _handle_declaration(self, decl: AuthenticatedStatement,
                             from_neighbor: Optional[str]) -> None:
@@ -1120,6 +1134,7 @@ class NodeAgent:
         self.system.trace.record(ModeSwitchStarted(
             time=self.sim.now, node=self.node_id,
             from_mode=self.plan.mode, to_mode=pending.plan.mode,
+            boundary=pending.at,
         ))
         # Confusion window: from now until well past the boundary, plans
         # across the fleet may disagree and migrated instances may still be
@@ -1151,11 +1166,14 @@ class NodeAgent:
         self._refresh_expected()
         self.demoted.clear()
         self._investigations.clear()
-        # Re-evaluate plan-dependent evidence under the new plan.
+        # Re-evaluate plan-dependent evidence under the new plan. Soft
+        # rejects were un-marked by the log, so retries go back through
+        # the dedup gate — it filters copies queued from several
+        # neighbours, which would otherwise be double-accepted here.
         pending_retry, self._retry_evidence = self._retry_evidence, []
         for evidence in pending_retry:
             self.sim.call_after(
-                1, lambda ev=evidence: self._handle_evidence(ev, None))
+                1, lambda ev=evidence: self._retry_soft_rejected(ev))
         self.suppress_until = max(
             self.suppress_until,
             self.sim.now + self.config.suppress_periods * self.period

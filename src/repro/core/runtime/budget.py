@@ -59,18 +59,34 @@ def recovery_bound_for_deadline(deadline_us: int, f: int) -> int:
 
 def distribution_bound(topology: Topology, lane_model: LaneModel,
                        config: BTRConfig,
-                       evidence_bits: int = EVIDENCE_BITS) -> int:
+                       evidence_bits: int = EVIDENCE_BITS,
+                       metrics=None) -> int:
     """Worst-case time for valid evidence to reach every correct node.
 
     Evidence floods hop-by-hop on reserved EVIDENCE lanes; each hop costs
     one lane transmission, propagation, and a full validation on the
     receiver's control lane before re-forwarding.
+
+    Falls back to node count (a safe over-estimate of the diameter) when
+    networkx is unavailable or the graph is not connected; each fallback
+    is counted on ``metrics`` as ``budget_diameter_fallback{reason}`` so a
+    silently-pessimised budget stays visible.
     """
     try:
         import networkx as nx
-        diameter = nx.diameter(topology.graph)
-    except Exception:
+    except ImportError:
         diameter = len(topology.nodes)
+        if metrics is not None:
+            metrics.inc("budget_diameter_fallback", reason="no_networkx")
+    else:
+        try:
+            diameter = nx.diameter(topology.graph)
+        except (nx.NetworkXError, ValueError):
+            # Disconnected / empty graphs have no finite diameter.
+            diameter = len(topology.nodes)
+            if metrics is not None:
+                metrics.inc("budget_diameter_fallback",
+                            reason="not_connected")
     worst_hop = 0
     for link in topology.links.values():
         tx = lane_model.transmission_us(link, MessageKind.EVIDENCE,
@@ -107,10 +123,11 @@ def detection_bound(period: int, config: BTRConfig,
 
 def compute_budget(strategy: Strategy, topology: Topology,
                    lane_model: LaneModel, router: Router,
-                   config: BTRConfig) -> RecoveryBudget:
+                   config: BTRConfig, metrics=None) -> RecoveryBudget:
     """The achievable recovery bound of a prepared deployment."""
     period = strategy.nominal.workload.period
-    distribution = distribution_bound(topology, lane_model, config)
+    distribution = distribution_bound(topology, lane_model, config,
+                                      metrics=metrics)
     switch_lead = (config.switch_lead_us if config.switch_lead_us is not None
                    else distribution)
     # State transfer: worst single-step transition, shipped on STATE lanes.

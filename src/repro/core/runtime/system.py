@@ -31,8 +31,9 @@ from typing import Dict, List, Optional, Union
 
 from ...crypto.signatures import KeyDirectory
 from ...faults.adversary import Adversary, FaultScript
-from ...net.routing import Router
+from ...net.routing import Router, RoutingError
 from ...net.topology import Topology
+from ...obs.metrics import MetricsRegistry
 from ...sched.lanes import LaneModel
 from ...sim.engine import Simulator
 from ...sim.message import Message
@@ -40,6 +41,7 @@ from ...sim.trace import (
     Custom,
     FaultInjected,
     MessageDelivered,
+    MessageDropped,
     MessageSent,
     ModeSwitchCompleted,
     OutputProduced,
@@ -77,6 +79,9 @@ class RunResult:
     #: degradation), mapped to the time from which they are excused. The
     #: analysis layer uses this for Definition 3.1's shedding extension.
     excused_flows: Dict[str, int] = field(default_factory=dict)
+    #: Snapshot of the system's metrics registry (counters/gauges/
+    #: histograms) at the end of the run; empty for baseline systems.
+    metrics: Dict[str, Dict] = field(default_factory=dict)
 
     def outputs(self) -> List[OutputProduced]:
         return self.trace.of_kind(OutputProduced)
@@ -120,6 +125,10 @@ class BTRSystem:
         self.strategy: Optional[Strategy] = None
         self.budget: Optional[RecoveryBudget] = None
         self.switch_lead_us: int = 0
+        #: Numeric observability channel (counters/gauges/histograms),
+        #: shared by prepare()-time and run()-time instrumentation and
+        #: snapshotted into each RunResult.
+        self.metrics = MetricsRegistry()
         #: Filled by prepare(): how the strategy was obtained (cache hit,
         #: plans computed vs memoised, worker count, wall time).
         self.plan_stats = None
@@ -162,7 +171,7 @@ class BTRSystem:
             self.config.switch_lead_us
             if self.config.switch_lead_us is not None
             else distribution_bound(self.topology, self.lane_model,
-                                    self.config)
+                                    self.config, metrics=self.metrics)
         )
         if strict:
             # Imported lazily: repro.verify depends on the planner layer,
@@ -172,7 +181,7 @@ class BTRSystem:
                                           router=self.router))
         self.budget = compute_budget(self.strategy, self.topology,
                                      self.lane_model, self.router,
-                                     self.config)
+                                     self.config, metrics=self.metrics)
         if (self.config.R_us is not None
                 and self.budget.total_us > self.config.R_us):
             raise ValueError(
@@ -226,6 +235,12 @@ class BTRSystem:
             )
             stats.cache_key = key
             cached = cache.load(key)
+            if cache.quarantined:
+                # A corrupt on-disk entry was set aside and treated as a
+                # miss — surface it, never fail prepare() over it.
+                self.metrics.inc("cache_entries_quarantined",
+                                 cache.quarantined)
+                stats.cache_quarantined = cache.quarantined
             if cached is not None:
                 stats.cache_hit = True
                 stats.plans_total = len(cached)
@@ -337,6 +352,9 @@ class BTRSystem:
                 if flow.name not in kept:
                     excused[flow.name] = first_switch
 
+        self.metrics.set_gauge("sim_events_executed",
+                               self.sim.events_executed)
+        self.metrics.set_gauge("trace_events", len(self.trace))
         return RunResult(
             trace=self.trace,
             config=self.config,
@@ -350,6 +368,7 @@ class BTRSystem:
                 for n, a in self.agents.items()
             },
             excused_flows=excused,
+            metrics=self.metrics.snapshot(),
         )
 
     def _install_clock_sync(self) -> None:
@@ -409,7 +428,15 @@ class BTRSystem:
             ))
             self.topology.nodes[receiver].deliver(msg, at)
 
-        link.transmit(self.sim, message, sender, receiver, deliver)
+        def dropped(msg: Message) -> None:
+            self.trace.record(MessageDropped(
+                time=self.sim.now, src=sender, dst=receiver,
+                kind=msg.kind.value, reason="link_loss",
+            ))
+            self.metrics.inc("messages_dropped", reason="link_loss")
+
+        link.transmit(self.sim, message, sender, receiver, deliver,
+                      on_drop=dropped)
 
     def send_routed(self, agent: NodeAgent, message: Message,
                     plan) -> None:
@@ -423,9 +450,22 @@ class BTRSystem:
         try:
             path = self.router.route(agent.node_id, message.dst,
                                      excluding=set(plan.pattern))
-        except Exception:
+        except RoutingError:
+            # No route avoiding the faulty set: the plan has partitioned
+            # the sender from the destination. Count it — a silent drop
+            # here looks exactly like an omission fault downstream.
+            self.metrics.inc("messages_dropped", reason="no_route")
+            self.trace.record(MessageDropped(
+                time=self.sim.now, src=agent.node_id, dst=message.dst,
+                kind=message.kind.value, reason="no_route",
+            ))
             return
         if len(path) < 2:
+            self.metrics.inc("messages_dropped", reason="no_forward_hop")
+            self.trace.record(MessageDropped(
+                time=self.sim.now, src=agent.node_id, dst=message.dst,
+                kind=message.kind.value, reason="no_forward_hop",
+            ))
             return
         self.transmit(agent.node_id, path[1], message)
 
@@ -433,6 +473,7 @@ class BTRSystem:
         """Next hop on the nominal shortest path (control forwarding)."""
         try:
             path = self.router.route(current, dst)
-        except Exception:
+        except RoutingError:
+            self.metrics.inc("messages_dropped", reason="no_route_static")
             return None
         return path[1] if len(path) > 1 else None

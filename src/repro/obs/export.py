@@ -1,0 +1,140 @@
+"""Per-run observability export: one JSON document per run.
+
+``run_report`` condenses a finished run into a diffable, deterministic
+dictionary — fault timelines with their phase spans, the promised budget
+decomposition, the metrics-registry snapshot, and an event census — and
+``export_run``/``load_report`` round-trip it through JSON on disk. The
+``repro trace`` CLI renders a saved report with ``render_phase_report``.
+
+The report is the contract between the experiment harness and the
+documentation: EXPERIMENTS E1's recovery numbers are read back out of
+these reports, never recomputed ad hoc.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from .recovery import (
+    PHASES,
+    PHASE_BUDGET_COMPONENT,
+    FaultTimeline,
+    reconstruct_timelines,
+)
+
+#: Bumped when the report layout changes incompatibly.
+REPORT_VERSION = 1
+
+
+def _budget_dict(budget) -> Optional[Dict[str, int]]:
+    if budget is None:
+        return None
+    return {
+        "detection_us": int(budget.detection_us),
+        "distribution_us": int(budget.distribution_us),
+        "switch_us": int(budget.switch_us),
+        "settling_us": int(budget.settling_us),
+        "total_us": int(budget.total_us),
+    }
+
+
+def run_report(result, timelines: Optional[List[FaultTimeline]] = None
+               ) -> Dict[str, object]:
+    """A JSON-ready observability report for one run.
+
+    ``result`` is a :class:`~repro.core.runtime.system.RunResult`;
+    ``timelines`` may be passed if the caller already reconstructed them
+    (they are recomputed from the trace otherwise).
+    """
+    if timelines is None:
+        timelines = reconstruct_timelines(result)
+    return {
+        "version": REPORT_VERSION,
+        "period_us": result.workload.period,
+        "n_periods": result.n_periods,
+        "duration_us": result.duration_us,
+        "budget": _budget_dict(result.budget),
+        "faults": [t.to_dict() for t in timelines],
+        "metrics": result.metrics or {},
+        "trace_counts": result.trace.kind_counts(),
+    }
+
+
+def export_run(result, path: str,
+               timelines: Optional[List[FaultTimeline]] = None
+               ) -> Dict[str, object]:
+    """Write the run's observability report to ``path`` and return it."""
+    report = run_report(result, timelines)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return report
+
+
+def load_report(path: str) -> Dict[str, object]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _fmt_ms(us: Optional[int]) -> str:
+    return "-" if us is None else f"{us / 1000:.3f}"
+
+
+def render_phase_report(report: Dict[str, object]) -> str:
+    """Human-readable phase breakdown of a saved report (for the CLI)."""
+    lines: List[str] = []
+    faults = report.get("faults", [])
+    budget = report.get("budget")
+
+    header = (f"{'fault':<12} {'node':<8} {'manifest':>10} "
+              + " ".join(f"{p:>9}" for p in PHASES)
+              + f" {'total':>9}")
+    lines.append("Recovery phase breakdown (ms)")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for fault in faults:
+        phases = fault["phases"]
+        lines.append(
+            f"{fault['fault_kind']:<12} {fault['node']:<8} "
+            f"{_fmt_ms(fault['manifest_us']):>10} "
+            + " ".join(f"{_fmt_ms(phases[p]):>9}" for p in PHASES)
+            + f" {_fmt_ms(fault['total_us']):>9}"
+        )
+    if not faults:
+        lines.append("(no faults injected)")
+
+    if budget:
+        lines.append("")
+        lines.append("Budget attribution (observed worst phase vs promised "
+                     "component, ms)")
+        worst: Dict[str, int] = {p: 0 for p in PHASES}
+        for fault in faults:
+            for p in PHASES:
+                worst[p] = max(worst[p], fault["phases"][p])
+        lines.append(f"{'phase':<10} {'observed':>10} {'component':>16} "
+                     f"{'promised':>10} {'used':>6}")
+        for p in PHASES:
+            component = PHASE_BUDGET_COMPONENT[p]
+            promised = budget[component]
+            used = (f"{100 * worst[p] / promised:.0f}%"
+                    if promised else "-")
+            lines.append(f"{p:<10} {_fmt_ms(worst[p]):>10} {component:>16} "
+                         f"{_fmt_ms(promised):>10} {used:>6}")
+        lines.append(f"{'end-to-end':<10} "
+                     f"{_fmt_ms(max((f['total_us'] for f in faults), default=0)):>10} "
+                     f"{'total_us':>16} {_fmt_ms(budget['total_us']):>10}")
+
+    metrics = report.get("metrics") or {}
+    counters = metrics.get("counters") or {}
+    dropped = {k: v for k, v in counters.items()
+               if k.startswith("messages_dropped")}
+    if dropped:
+        lines.append("")
+        lines.append("Dropped messages")
+        for key in sorted(dropped):
+            lines.append(f"  {key}: {dropped[key]}")
+    return "\n".join(lines)

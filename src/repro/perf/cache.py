@@ -135,6 +135,8 @@ class StrategyCache:
         self.root = root
         self.hits = 0
         self.misses = 0
+        #: Corrupt entries moved aside (``<entry>.corrupt``) this session.
+        self.quarantined = 0
 
     def path_for(self, key: str) -> str:
         return os.path.join(self.root, f"{key}.json")
@@ -142,18 +144,38 @@ class StrategyCache:
     def load(self, key: str) -> Optional[Strategy]:
         """The cached strategy for ``key``, or None (counted as a miss).
 
-        Unreadable or stale-format entries are treated as misses — the
-        caller replans and overwrites them.
+        A missing entry is a plain miss. A present-but-unparseable entry
+        (truncated write, stale format, bit rot) is *quarantined*: moved
+        aside to ``<entry>.corrupt`` so the replan can overwrite the slot
+        and the bad bytes stay inspectable — ``prepare()`` must never
+        fail because of on-disk cache state.
         """
         path = self.path_for(key)
         try:
             with open(path) as f:
-                strategy = strategy_from_json(f.read())
-        except (OSError, ValueError, KeyError):
+                raw = f.read()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            strategy = strategy_from_json(raw)
+        except (ValueError, KeyError, TypeError, AttributeError,
+                IndexError):
+            # json.JSONDecodeError is a ValueError; the rest cover
+            # structurally-wrong payloads hitting the deserializer.
+            self.quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
         return strategy
+
+    def quarantine(self, path: str) -> None:
+        """Move a corrupt entry to ``<path>.corrupt`` (best effort)."""
+        try:
+            os.replace(path, f"{path}.corrupt")
+        except OSError:
+            pass
+        self.quarantined += 1
 
     def store(self, key: str, strategy: Strategy) -> str:
         """Persist ``strategy`` under ``key`` atomically; returns the path."""

@@ -65,6 +65,8 @@ class PlanningStats:
     #: Whether the strategy came out of the on-disk cache.
     cache_hit: bool = False
     cache_key: Optional[str] = None
+    #: Corrupt cache entries quarantined during the lookup.
+    cache_quarantined: int = 0
     #: Wall-clock planning time (filled by the caller, which owns the
     #: stopwatch — this module never reads the clock).
     wall_s: float = 0.0

@@ -30,6 +30,7 @@ from .trace import (
     ModeSwitchCompleted,
     ModeSwitchStarted,
     OutputProduced,
+    PathDeclared,
     TaskExecuted,
     TaskShed,
     Trace,
@@ -70,6 +71,7 @@ __all__ = [
     "ModeSwitchCompleted",
     "ModeSwitchStarted",
     "OutputProduced",
+    "PathDeclared",
     "TaskExecuted",
     "TaskShed",
     "Trace",

@@ -95,10 +95,23 @@ class EvidenceRejected(TraceEvent):
 
 
 @dataclass
+class PathDeclared(TraceEvent):
+    """A node declared a problem with a path (omission suspicion)."""
+
+    declarer: str
+    path: tuple
+    flow: str
+    period_index: int
+
+
+@dataclass
 class ModeSwitchStarted(TraceEvent):
     node: str
     from_mode: str
     to_mode: str
+    #: The deterministic switch boundary this node computed from the
+    #: evidence (§4.4); -1 for legacy events that did not record it.
+    boundary: int = -1
 
 
 @dataclass
@@ -179,3 +192,15 @@ class Trace:
     def last(self, kind: Type[E]) -> Optional[E]:
         events = self._by_kind.get(kind)
         return events[-1] if events else None  # type: ignore[return-value]
+
+    def kind_counts(self) -> Dict[str, int]:
+        """Event counts per concrete type name, alphabetically ordered.
+
+        The observability layer exports this as the run's event census;
+        keeping the ordering deterministic keeps the JSON diffable.
+        """
+        return {
+            cls.__name__: len(events)
+            for cls, events in sorted(self._by_kind.items(),
+                                      key=lambda kv: kv[0].__name__)
+        }

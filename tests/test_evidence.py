@@ -296,3 +296,69 @@ def test_log_handles_declarations(directory, validator):
     dup = log.on_declaration(d)
     assert dup.reason == "duplicate"
     assert len(log.declarations) == 1
+
+
+def attribution_evidence(directory, n_slots=3):
+    decls = [decl(directory, "w1", ["bad", "w1"], p)
+             for p in range(1, n_slots)]
+    decls.append(decl(directory, "w2", ["bad", "w2"], 1))
+    return Evidence.make(directory, ATTRIBUTION, "bad", "det", 0, decls)
+
+
+def test_soft_rejected_record_is_reevaluated_after_switch(directory):
+    # Regression: `on_evidence` used to mark records seen *before*
+    # validation, so an ATTRIBUTION record soft-rejected mid-switch (the
+    # validator's regime disagreed with the detector's) bounced off the
+    # dedup gate as "duplicate" forever — despite the inline promise that
+    # the caller may retry after its next switch. Only terminal verdicts
+    # may stick now. We model the regime change the way the runtime does
+    # across adopt(): the validator's notion of validity changes.
+    validator = EvidenceValidator(directory, attribution_threshold=5)
+    log = EvidenceLog("n0", validator)
+    ev = attribution_evidence(directory, n_slots=3)
+
+    first = log.on_evidence(ev)
+    assert first.reason == "unsupported_soft"
+    assert not first.accept and first.implicate is None  # not slander
+
+    # After the mode switch the plans agree again (here: the validator
+    # accepts the attribution). The retried record must be re-evaluated,
+    # not deduplicated.
+    validator.attribution_threshold = 3
+    second = log.on_evidence(ev)
+    assert second.reason == "valid"
+    assert second.accept and second.implicate == "bad"
+    assert log.accused_nodes() == {"bad"}
+
+    # Acceptance is terminal: a third copy is now a duplicate.
+    third = log.on_evidence(ev)
+    assert third.reason == "duplicate"
+    assert len(log.accepted) == 1
+
+
+def test_soft_reject_does_not_feed_slander_count(directory):
+    # Slander-threshold interaction with the dedup fix: plan-dependent
+    # soft rejects must never charge the detector, no matter how many
+    # times the same record is re-submitted and re-evaluated — otherwise
+    # the retry loop the fix enables would convict an honest detector.
+    validator = EvidenceValidator(directory, attribution_threshold=5)
+    log = EvidenceLog("n0", validator, slander_threshold=2)
+    ev = attribution_evidence(directory, n_slots=3)
+    for _ in range(4):
+        decision = log.on_evidence(ev)
+        assert decision.reason == "unsupported_soft"
+        assert decision.implicate is None
+    assert log.invalid_counts == {}
+
+
+def test_objective_unsupported_verdict_is_terminal(directory, validator):
+    # An objectively unsupported record is slander-counted exactly once:
+    # the terminal verdict marks it seen, so re-floods of the same record
+    # are duplicates and cannot pump the slander count to the threshold.
+    log = EvidenceLog("n0", validator, slander_threshold=2)
+    ev = commission_evidence(directory, value_delta=0)  # correct value
+    first = log.on_evidence(ev)
+    assert first.reason == "unsupported"
+    for _ in range(3):
+        assert log.on_evidence(ev).reason == "duplicate"
+    assert log.invalid_counts == {"det": 1}

@@ -64,6 +64,22 @@ def test_switch_boundary_is_deterministic_in_evidence_time():
     assert b1 == b2 == 20_000
 
 
+def test_switch_boundary_target_exactly_on_period_boundary():
+    # evidence_time + lead landing exactly on a period start must pick
+    # that period start, not roll over to the next one.
+    assert switch_boundary(1_900, 100, 1_000) == 2_000
+    assert switch_boundary(0, 1_000, 1_000) == 1_000
+    assert switch_boundary(3_000, 2_000, 1_000) == 5_000
+
+
+def test_switch_boundary_zero_lead():
+    # lead=0: the boundary is the first period start at/after the
+    # evidence time itself; evidence exactly on a start switches there.
+    assert switch_boundary(2_000, 0, 1_000) == 2_000
+    assert switch_boundary(2_001, 0, 1_000) == 3_000
+    assert switch_boundary(0, 0, 1_000) == 0
+
+
 # -------------------------------------------------------------- transitions
 
 
@@ -176,3 +192,26 @@ def test_switcher_uncovered_node_changes_nothing(switcher):
     pending = sw.on_implicated(outside, 120_000, 125_000)
     assert pending is None  # fault set grew but the plan is unchanged
     assert outside in sw.fault_set
+
+
+def test_switcher_reimplication_is_counted_not_rescheduled():
+    from repro.obs import MetricsRegistry
+
+    wl = pipeline_workload(n_stages=2, period=ms(50))
+    topo = full_mesh_topology(6, bandwidth=1e8)
+    topo.place_endpoints_round_robin(wl.sources, wl.sinks)
+    from repro.core.planner import build_strategy
+    strategy = build_strategy(wl, topo, Router(topo), f=1)
+    metrics = MetricsRegistry()
+    sw = ModeSwitcher(strategy, period=ms(50), switch_lead=ms(10),
+                      metrics=metrics)
+    victim = sorted(strategy.covered_nodes)[0]
+    assert sw.on_implicated(victim, 120_000, 125_000) is not None
+    # Re-implicating the same node (later evidence, retries, floods) is
+    # ignored — and visibly so, via the metrics channel.
+    for t in (130_000, 140_000, 150_000):
+        assert sw.on_implicated(victim, t, t + 1_000) is None
+    assert metrics.counter_value("implications_ignored",
+                                 reason="known_fault") == 3
+    assert metrics.counter_value("mode_switches_scheduled",
+                                 kind="boundary") == 1

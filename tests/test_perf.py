@@ -109,6 +109,62 @@ class TestStrategyCache:
         assert cache.load(key) is None
         assert cache.misses == 1
 
+    @pytest.mark.parametrize("garbage", [
+        "{not json",                      # not JSON at all
+        "",                               # truncated to nothing
+        "[1, 2, 3]",                      # JSON, wrong shape
+        '{"format_version": 999}',        # JSON, wrong content
+        '"just a string"',                # JSON scalar
+    ])
+    def test_corrupt_entry_is_quarantined(self, tmp_path, garbage):
+        cache = StrategyCache(str(tmp_path))
+        key = "1" * 64
+        entry = tmp_path / f"{key}.json"
+        entry.write_text(garbage)
+        assert cache.load(key) is None
+        assert cache.misses == 1
+        assert cache.quarantined == 1
+        # The bad bytes were moved aside, freeing the slot for a replan
+        # and keeping them inspectable.
+        assert not entry.exists()
+        assert (tmp_path / f"{key}.json.corrupt").read_text() == garbage
+
+    def test_missing_entry_is_plain_miss_not_quarantine(self, tmp_path):
+        cache = StrategyCache(str(tmp_path))
+        assert cache.load("2" * 64) is None
+        assert cache.misses == 1
+        assert cache.quarantined == 0
+
+    def test_prepare_survives_corrupt_cache_entry(self, tmp_path):
+        # End to end: garbage in the exact slot prepare() will consult
+        # must behave as a miss — planning succeeds, cache_hit=False, and
+        # the quarantine is visible in plan_stats and the metrics channel.
+        workload = industrial_workload()
+        topology = full_mesh_topology(6)
+        config = BTRConfig(f=1, cache=str(tmp_path))
+        # Match prepare()'s actual key inputs by preparing once, then
+        # corrupting whatever entry it wrote.
+        first = BTRSystem(workload, topology, config)
+        first.prepare()
+        written = first.plan_stats.cache_key
+        entry = tmp_path / f"{written}.json"
+        assert entry.exists()
+        entry.write_text('{"truncated": ')
+
+        system = BTRSystem(industrial_workload(), full_mesh_topology(6),
+                           config)
+        budget = system.prepare()
+        assert budget.total_us > 0
+        assert system.plan_stats.cache_hit is False
+        assert system.plan_stats.cache_quarantined == 1
+        assert system.metrics.counter_value("cache_entries_quarantined") == 1
+        assert (tmp_path / f"{written}.json.corrupt").exists()
+        # The replan overwrote the slot; a third prepare hits again.
+        third = BTRSystem(industrial_workload(), full_mesh_topology(6),
+                          config)
+        third.prepare()
+        assert third.plan_stats.cache_hit is True
+
     def test_system_prepare_hits_across_fresh_systems(self, tmp_path):
         def prepared():
             system = BTRSystem(

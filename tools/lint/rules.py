@@ -32,7 +32,8 @@ from typing import Iterator, Tuple
 Hit = Tuple[int, int, str]
 
 #: Path fragments of the determinism-critical layers (posix-style).
-RESTRICTED_FRAGMENTS = ("repro/sim/", "repro/core/", "repro/perf/")
+RESTRICTED_FRAGMENTS = ("repro/sim/", "repro/core/", "repro/perf/",
+                        "repro/obs/")
 #: Sanctioned wrapper modules, exempt from the scoped rules.
 EXEMPT_SUFFIXES = ("repro/sim/time.py", "repro/sim/random.py",
                    "repro/sim/clock.py", "repro/perf/timing.py")

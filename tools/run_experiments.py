@@ -19,7 +19,10 @@ trajectories land next to the report:
   whole suite, with the jobs/cache configuration that produced them;
 * ``BENCH_planner.json`` — aggregated offline-planning stats (prepares,
   cache hit rate, plans computed vs memoised, plans/sec) from the
-  ``planner_stats.jsonl`` stream the benchmark harness appends to.
+  ``planner_stats.jsonl`` stream the benchmark harness appends to;
+* ``BENCH_obs.json`` — aggregated recovery-timeline observability
+  (per-fault-kind phase spans, phase-sum integrity, dropped-message
+  counters) from the ``obs_stats.jsonl`` stream.
 
 Usage:  python tools/run_experiments.py [--jobs N] [--only SUBSTR]
                 [--cache DIR | --no-cache] [--skip-run] [--skip-verify]
@@ -39,6 +42,7 @@ from concurrent.futures import ThreadPoolExecutor
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 RESULTS = os.path.join(REPO, "benchmarks", "results")
 PLANNER_STATS = os.path.join(RESULTS, "planner_stats.jsonl")
+OBS_STATS = os.path.join(RESULTS, "obs_stats.jsonl")
 CACHE_ENV_VAR = "REPRO_STRATEGY_CACHE"
 DEFAULT_CACHE = os.path.join(REPO, "benchmarks", ".strategy_cache")
 
@@ -143,15 +147,7 @@ def run_suite(files: list, jobs: int, env: dict) -> dict:
 
 def aggregate_planner_stats() -> dict:
     """Collapse the harness's per-prepare jsonl into one summary."""
-    records = []
-    try:
-        with open(PLANNER_STATS) as f:
-            for line in f:
-                line = line.strip()
-                if line:
-                    records.append(json.loads(line))
-    except OSError:
-        pass
+    records = _read_jsonl(PLANNER_STATS)
     hits = sum(1 for r in records if r.get("cache_hit"))
     # Only prepares that consulted a cache (key recorded) enter the rate;
     # E7 deliberately plans uncached to measure raw planner cost.
@@ -172,6 +168,62 @@ def aggregate_planner_stats() -> dict:
         "plans_per_sec": (round((computed + memoised) / planning_wall, 1)
                           if planning_wall > 0 else None),
         "jobs_seen": sorted({r.get("jobs", 1) for r in records}),
+    }
+
+
+def _read_jsonl(path: str) -> list:
+    records = []
+    try:
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+    except OSError:
+        pass
+    return records
+
+
+def aggregate_obs_stats() -> dict:
+    """Collapse the harness's per-run timeline jsonl into one summary.
+
+    Groups per fault kind: count, min/max end-to-end recovery, and the
+    worst observed span per phase; plus suite-wide phase-sum integrity
+    (every timeline's spans must sum to its total — the invariant the
+    obs layer guarantees by construction) and the union of
+    ``messages_dropped`` counters seen across runs.
+    """
+    records = _read_jsonl(OBS_STATS)
+    by_kind: dict = {}
+    sum_mismatches = 0
+    dropped: dict = {}
+    for r in records:
+        phases = r.get("phases", {})
+        total = r.get("total_us", 0)
+        if sum(phases.values()) != total:
+            sum_mismatches += 1
+        entry = by_kind.setdefault(r.get("fault_kind", "?"), {
+            "timelines": 0,
+            "min_total_us": None,
+            "max_total_us": 0,
+            "worst_phase_us": {},
+        })
+        entry["timelines"] += 1
+        entry["min_total_us"] = (total if entry["min_total_us"] is None
+                                 else min(entry["min_total_us"], total))
+        entry["max_total_us"] = max(entry["max_total_us"], total)
+        for phase, span in phases.items():
+            entry["worst_phase_us"][phase] = max(
+                entry["worst_phase_us"].get(phase, 0), span)
+        for key, value in (r.get("messages_dropped") or {}).items():
+            dropped[key] = dropped.get(key, 0) + value
+    return {
+        "timelines": len(records),
+        "phase_sum_mismatches": sum_mismatches,
+        "by_fault_kind": {k: by_kind[k] for k in sorted(by_kind)},
+        "messages_dropped": dropped,
+        "experiments_seen": sorted({r.get("experiment", "?")
+                                    for r in records}),
     }
 
 
@@ -252,8 +304,10 @@ def main() -> int:
                   file=sys.stderr)
             return 2
         os.makedirs(RESULTS, exist_ok=True)
-        # Fresh planning-stats stream for this suite run.
+        # Fresh planning/obs-stats streams for this suite run.
         with open(PLANNER_STATS, "w"):
+            pass
+        with open(OBS_STATS, "w"):
             pass
         print(f"running {len(files)} benchmark shards "
               f"(jobs={args.jobs}, cache="
@@ -262,9 +316,11 @@ def main() -> int:
         write_json(os.path.join(RESULTS, "BENCH_suite.json"), suite)
         write_json(os.path.join(RESULTS, "BENCH_planner.json"),
                    aggregate_planner_stats())
+        write_json(os.path.join(RESULTS, "BENCH_obs.json"),
+                   aggregate_obs_stats())
         print(f"suite: {suite['total_wall_s']}s wall over "
               f"{len(files)} shards; perf trajectory in "
-              f"BENCH_suite.json / BENCH_planner.json")
+              f"BENCH_suite.json / BENCH_planner.json / BENCH_obs.json")
         failed = [s for s in suite["experiments"] if s["returncode"] != 0]
         if failed:
             print("benchmark shards failed: "

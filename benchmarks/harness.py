@@ -36,6 +36,11 @@ PLANNER_STATS_PATH = os.path.join(RESULTS_DIR, "planner_stats.jsonl")
 #: aggregates it into ``BENCH_obs.json`` after a suite run.
 OBS_STATS_PATH = os.path.join(RESULTS_DIR, "obs_stats.jsonl")
 
+#: Per-run online-runtime stats (events/sec, HMAC counts, memo hit
+#: rates), appended by :func:`record_sim` from the E17 benchmark;
+#: ``tools/run_experiments.py`` aggregates it into ``BENCH_sim.json``.
+SIM_STATS_PATH = os.path.join(RESULTS_DIR, "sim_stats.jsonl")
+
 
 def harness_cache_dir() -> Optional[str]:
     """The strategy-cache directory the benchmarks share.
@@ -87,6 +92,13 @@ def record_obs(result, label: Optional[str] = None,
             **timeline.to_dict(),
         })
     return timelines
+
+
+def record_sim(row: dict, label: Optional[str] = None) -> None:
+    """Append one online-runtime measurement to the sim stats stream."""
+    if label is None:
+        label = os.environ.get("PYTEST_CURRENT_TEST", "adhoc").split(" ")[0]
+    append_jsonl(SIM_STATS_PATH, {"experiment": label, **row})
 
 
 def write_result(name: str, text: str) -> None:

@@ -1,0 +1,191 @@
+"""E17 — Online-runtime throughput: what the fast path buys, and proof
+it changes nothing.
+
+PR 2 made *offline* planning parallel and cached; this experiment
+measures the *online* simulation hot path that dominates every other
+experiment's wall-clock. The fast path (``repro.perf.fastpath``) has
+three levers — statement canonicalization caching, the signature
+verify memo, and trace recording modes — and one invariant: behaviour
+is untouched. For every scenario benchmarked here the full-mode trace
+is asserted **byte-identical** (same events, same fields, same order)
+with the fast path enabled and disabled, across seeds; the speedups are
+measured and recorded in ``BENCH_sim.json``, never asserted in CI smoke
+(wall-clock on shared runners is advice, not ground truth).
+
+Columns per scenario: online events/sec, HMAC signs+verifies, verify-memo
+hit rate, and wall time for three configurations —
+
+* ``off/full``   — fast path disabled, full trace (the old runtime);
+* ``on/full``    — fast path enabled, full trace (byte-identity check);
+* ``on/miles``   — fast path enabled, milestone trace (the benchmark
+  configuration; headline speedup is off/full ÷ on/miles).
+
+Environment knobs (used by the CI perf-smoke job):
+
+* ``REPRO_E17_SWEEP=smoke`` — single scenario, fewer periods/seeds.
+"""
+
+import os
+
+from harness import (
+    harness_cache_dir,
+    one_shot,
+    record_sim,
+    write_result,
+)
+from repro import BTRConfig, BTRSystem
+from repro.analysis import format_table
+from repro.faults.scenarios import stage
+from repro.net import full_mesh_topology
+from repro.perf import online_stats, trace_fingerprint
+from repro.perf.timing import Stopwatch
+from repro.workload import industrial_workload
+
+#: (scenario, n_nodes, f, n_periods) — scenarios chosen to stress the
+#: memo differently: steady broadcast traffic (commission), the audit
+#: fallback (checker crash), and adversarial verification load (the
+#: evidence flood, where the memo must win on correct traffic while
+#: never caching the flooder's junk).
+SWEEP_FULL = [
+    ("single_commission", 7, 1, 40),
+    ("checker_host_crash", 7, 1, 40),
+    ("flood_plus_fault", 7, 2, 40),
+]
+SWEEP_SMOKE = [("single_commission", 7, 1, 20)]
+
+SEEDS_FULL = (42, 43)
+SEEDS_SMOKE = (42,)
+
+
+def smoke() -> bool:
+    return os.environ.get("REPRO_E17_SWEEP") == "smoke"
+
+
+def _prepared(name: str, n_nodes: int, f: int, seed: int,
+              fastpath: bool, trace_mode: str):
+    system = BTRSystem(
+        industrial_workload(),
+        full_mesh_topology(n_nodes, bandwidth=1e8),
+        BTRConfig(f=f, seed=seed, cache=harness_cache_dir(),
+                  runtime_fastpath=fastpath, trace_mode=trace_mode),
+    )
+    system.prepare()
+    return system, stage(name, system)
+
+
+def _timed_run(system, scenario, n_periods: int):
+    watch = Stopwatch()
+    result = system.run(n_periods, adversary=scenario.script,
+                        link_script=scenario.link_script)
+    return result, watch.elapsed_s()
+
+
+def run_case(name: str, n_nodes: int, f: int, n_periods: int, seed: int):
+    """One scenario × seed: three configurations + the identity check."""
+    off_sys, off_scn = _prepared(name, n_nodes, f, seed,
+                                 fastpath=False, trace_mode="full")
+    on_sys, on_scn = _prepared(name, n_nodes, f, seed,
+                               fastpath=True, trace_mode="full")
+    fast_sys, fast_scn = _prepared(name, n_nodes, f, seed,
+                                   fastpath=True, trace_mode="milestones")
+
+    off_res, off_s = _timed_run(off_sys, off_scn, n_periods)
+    on_res, on_s = _timed_run(on_sys, on_scn, n_periods)
+    fast_res, fast_s = _timed_run(fast_sys, fast_scn, n_periods)
+
+    # The core guarantee: the fast path changes nothing observable. Every
+    # event, every field, in order.
+    fp_off = trace_fingerprint(off_res.trace)
+    fp_on = trace_fingerprint(on_res.trace)
+    assert fp_on == fp_off, (
+        f"{name} seed={seed}: fastpath changed the full trace"
+    )
+    # The simulation itself is identical in all three configurations.
+    events = off_sys.sim.events_executed
+    assert on_sys.sim.events_executed == events
+    assert fast_sys.sim.events_executed == events
+    # Milestone mode loses no census information.
+    assert fast_res.trace.kind_counts() == off_res.trace.kind_counts()
+
+    off_stats = online_stats(off_sys)
+    fast_stats = online_stats(fast_sys)
+    memo = fast_stats["memo"]
+    # The memo actually absorbs repeat verifications...
+    assert memo["hits"] > 0, f"{name}: verify memo never hit"
+    assert fast_stats["verifies"] < off_stats["verifies"]
+    # ...and HMAC work is conserved where it must be: every memo miss is
+    # a real verification.
+    assert fast_stats["verifies"] >= memo["misses"]
+
+    return {
+        "scenario": name,
+        "n_nodes": n_nodes,
+        "f": f,
+        "n_periods": n_periods,
+        "seed": seed,
+        "sim_events": events,
+        "trace_events_full": len(off_res.trace),
+        "trace_events_milestones": len(fast_res.trace),
+        "wall_off_full_s": round(off_s, 4),
+        "wall_on_full_s": round(on_s, 4),
+        "wall_on_milestones_s": round(fast_s, 4),
+        "events_per_s_off": round(events / off_s) if off_s else None,
+        "events_per_s_on": round(events / fast_s) if fast_s else None,
+        "speedup_full": round(off_s / on_s, 2) if on_s else None,
+        "speedup_milestones": round(off_s / fast_s, 2) if fast_s else None,
+        "signs_per_run": off_stats["signs"],
+        "verifies_off": off_stats["verifies"],
+        "verifies_on": fast_stats["verifies"],
+        "memo_hits": memo["hits"],
+        "memo_misses": memo["misses"],
+        "memo_hit_rate": memo["hit_rate"],
+        "traces_identical": True,
+    }
+
+
+def run_experiment():
+    sweep = SWEEP_SMOKE if smoke() else SWEEP_FULL
+    seeds = SEEDS_SMOKE if smoke() else SEEDS_FULL
+    cases = []
+    for name, n_nodes, f, n_periods in sweep:
+        for seed in seeds:
+            case = run_case(name, n_nodes, f, n_periods, seed)
+            record_sim(case, label=f"e17:{name}:s{seed}")
+            cases.append(case)
+    return cases
+
+
+def test_e17_online_throughput(benchmark):
+    cases = one_shot(benchmark, run_experiment)
+
+    rows = [[
+        c["scenario"], c["seed"], c["sim_events"],
+        f"{c['events_per_s_off']:,}", f"{c['events_per_s_on']:,}",
+        f"{c['speedup_full']:.2f}x", f"{c['speedup_milestones']:.2f}x",
+        f"{c['verifies_off']} -> {c['verifies_on']}",
+        f"{100 * c['memo_hit_rate']:.0f}%",
+        "identical",
+    ] for c in cases]
+    write_result("e17_online_throughput", format_table(
+        "E17: online-runtime fast path (industrial workload, full mesh; "
+        "off = no fastpath + full trace, on = fastpath, fast = fastpath "
+        "+ milestone trace)",
+        ["scenario", "seed", "sim events", "ev/s off", "ev/s fast",
+         "on/full", "on/miles", "verifies off->on", "memo hits",
+         "full trace"],
+        rows,
+    ))
+
+    for c in cases:
+        assert c["traces_identical"]
+        # Milestone mode must prune the big per-hop event classes.
+        assert (c["trace_events_milestones"]
+                < 0.25 * c["trace_events_full"]), c["scenario"]
+    if not smoke():
+        # Wall-clock speedups are recorded in BENCH_sim.json for the
+        # trajectory; the acceptance bar is 2x on the default sweep. The
+        # ratio is far more load-tolerant than either absolute (both
+        # columns slow down together), so asserting on the best case
+        # keeps the check meaningful without flaking on shared runners.
+        best = max(c["speedup_milestones"] for c in cases)
+        assert best >= 2.0, f"fast path regressed: best speedup {best}"

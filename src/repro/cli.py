@@ -59,7 +59,7 @@ from .net import (
     ring_topology,
     star_topology,
 )
-from .sim import seconds, to_seconds
+from .sim import TRACE_MODES, seconds, to_seconds
 from .workload import (
     automotive_workload,
     avionics_workload,
@@ -139,6 +139,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="memoise symmetric fault patterns (opt-in; "
                             "verifier-clean, may differ from exhaustive "
                             "planning)")
+        p.add_argument("--no-fastpath", action="store_true",
+                       help="disable the online verify memo (the fast "
+                            "path is behaviour-preserving; this exists "
+                            "for benchmarking and bisection)")
+        p.add_argument("--trace-mode", choices=list(TRACE_MODES),
+                       default="full",
+                       help="trace recording fidelity: full keeps every "
+                            "event, milestones keeps recovery milestones "
+                            "and tallies per-hop traffic, counts-only "
+                            "keeps tallies alone")
 
     plan = sub.add_parser("plan", help="run the offline planner")
     common(plan)
@@ -199,7 +209,9 @@ def config_from_args(args) -> BTRConfig:
             from .perf import default_cache_dir
             cache = default_cache_dir()
     return BTRConfig(f=args.f, seed=args.seed, planner_jobs=args.jobs,
-                     cache=cache, symmetry_memo=args.memo)
+                     cache=cache, symmetry_memo=args.memo,
+                     runtime_fastpath=not args.no_fastpath,
+                     trace_mode=args.trace_mode)
 
 
 def cmd_plan(args) -> int:

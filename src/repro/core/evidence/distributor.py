@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
-from ...crypto.authenticator import AuthenticatedStatement, digest
+from ...crypto.authenticator import AuthenticatedStatement
 from .records import Evidence, EvidenceValidator
 
 
@@ -135,7 +135,7 @@ class EvidenceLog:
 
     def note_declaration(self, decl: AuthenticatedStatement) -> bool:
         """Dedup gate for declarations (cheap; see note_evidence)."""
-        key = digest(decl.statement) + decl.signer
+        key = decl.payload_digest() + decl.signer
         if key in self._declarations_seen:
             return False
         self._declarations_seen.add(key)

@@ -89,7 +89,7 @@ class Evidence:
 
     @property
     def evidence_id(self) -> str:
-        return digest(self.envelope.statement)
+        return self.envelope.payload_digest()
 
     def wire_bits(self) -> int:
         return self.envelope.wire_bits() + sum(
@@ -108,7 +108,7 @@ class Evidence:
             "accused": accused,
             "detector": detector,
             "detected_at": detected_at,
-            "support": [digest(s.statement) for s in statements],
+            "support": [s.payload_digest() for s in statements],
         }
         envelope = AuthenticatedStatement.make(directory, detector,
                                                envelope_payload)
@@ -178,7 +178,7 @@ class EvidenceValidator:
             and env.get("accused") == evidence.accused
             and env.get("detector") == evidence.detector
             and env.get("detector") == evidence.envelope.signer
-            and env.get("support") == [digest(s.statement)
+            and env.get("support") == [s.payload_digest()
                                        for s in evidence.statements]
         )
 

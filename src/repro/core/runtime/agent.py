@@ -79,6 +79,13 @@ class NodeAgent:
         self.node = node
         self.node_id = node.node_id
         self.config = system.config
+        #: The online fast path (verify memo, per-plan window memos,
+        #: cached neighbour lists). Behaviour preserving either way.
+        self._fastpath = system.config.runtime_fastpath
+        #: Static topology: the sorted neighbour list never changes
+        #: mid-run, so the fast path computes it once per agent instead
+        #: of re-sorting the adjacency on every broadcast/heartbeat.
+        self._neighbors = tuple(system.topology.neighbors(self.node_id))
         self.behavior: FaultBehavior = FaultBehavior()
         self.switcher = ModeSwitcher(
             system.strategy, system.workload.period, system.switch_lead_us,
@@ -249,10 +256,14 @@ class NodeAgent:
             return  # plan changed between scheduling and execution
         base = naming.base_task(instance)
         slot = self.plan.schedule.slot_for(instance)
-        self.system.trace.record(TaskExecuted(
-            time=self.sim.now, node=self.node_id, task=instance,
-            period_index=k, duration=slot.duration if slot else 0,
-        ))
+        trace = self.system.trace
+        if trace.wants(TaskExecuted):
+            trace.record(TaskExecuted(
+                time=self.sim.now, node=self.node_id, task=instance,
+                period_index=k, duration=slot.duration if slot else 0,
+            ))
+        else:
+            trace.tally(TaskExecuted)
         if naming.is_checker(instance):
             self._run_checker(instance, base, k)
         else:
@@ -596,13 +607,33 @@ class NodeAgent:
         route = self.plan.routes.get(flow_copy)
         if not route:
             return
-        flow = next((f for f in self.plan.augmented.flows
-                     if f.name == flow_copy), None)
-        if flow is None:
-            return
-        final = self._final_consumer_node(flow)
-        if final is None:
-            return
+        if self._fastpath:
+            # (flow, final consumer) are pure functions of the immutable
+            # plan + static topology; memoised on the plan object like
+            # the timing-window lookups (see detector.timing).
+            memo = self.plan.__dict__.get("_send_copy_memo")
+            if memo is None:
+                memo = {}
+                self.plan.__dict__["_send_copy_memo"] = memo
+            entry = memo.get(flow_copy)
+            if entry is None:
+                flow = next((f for f in self.plan.augmented.flows
+                             if f.name == flow_copy), None)
+                final = (self._final_consumer_node(flow)
+                         if flow is not None else None)
+                entry = (flow, final)
+                memo[flow_copy] = entry
+            flow, final = entry
+            if flow is None or final is None:
+                return
+        else:
+            flow = next((f for f in self.plan.augmented.flows
+                         if f.name == flow_copy), None)
+            if flow is None:
+                return
+            final = self._final_consumer_node(flow)
+            if final is None:
+                return
         if self.behavior.drops_message(flow_copy, k, final):
             return
         message = Message(
@@ -616,7 +647,8 @@ class NodeAgent:
                                 lambda: self.node.deliver(message,
                                                           self.sim.now))
             return
-        next_hop = self.plan.next_hop(flow_copy, self.node_id)
+        next_hop = (self._next_hop_cached(flow_copy) if self._fastpath
+                    else self.plan.next_hop(flow_copy, self.node_id))
         if next_hop is None:
             return
         if delay > 0:
@@ -626,12 +658,29 @@ class NodeAgent:
         else:
             self.system.transmit(self.node_id, next_hop, message)
 
+    def _next_hop_cached(self, flow_copy: str) -> Optional[str]:
+        """Memoised ``plan.next_hop(flow_copy, self.node_id)`` — routes
+        are fixed per plan, and the uncached version is an O(route) list
+        scan issued per data send/forward."""
+        memo = self.plan.__dict__.get("_next_hop_memo")
+        if memo is None:
+            memo = {}
+            self.plan.__dict__["_next_hop_memo"] = memo
+        key = (flow_copy, self.node_id)
+        try:
+            return memo[key]
+        except KeyError:
+            hop = self.plan.next_hop(flow_copy, self.node_id)
+            memo[key] = hop
+            return hop
+
     def _forward_data(self, message: Message) -> None:
         """Intermediate hop: pass the message along its planned route."""
         _, flow_copy, k, _stmt = message.payload
         if self.behavior.drops_message(flow_copy, k, message.dst):
             return
-        next_hop = self.plan.next_hop(flow_copy, self.node_id)
+        next_hop = (self._next_hop_cached(flow_copy) if self._fastpath
+                    else self.plan.next_hop(flow_copy, self.node_id))
         if next_hop is None:
             return
         delay = self.behavior.delay_send(flow_copy, k)
@@ -699,7 +748,7 @@ class NodeAgent:
             return
         verdict = self.config.timing.judge(
             self.plan, stmt.statement.get("flow", flow_copy), flow_copy,
-            offset, arrival_offset,
+            offset, arrival_offset, fast=self._fastpath,
         )
         if verdict in (SELF_INCRIMINATING, SUSPICIOUS_ARRIVAL):
             # Wrong slot within the period: real, but only provable
@@ -957,16 +1006,21 @@ class NodeAgent:
         if isinstance(record, Evidence):
             ref = record.evidence_id
         else:
-            from ...crypto.authenticator import digest
-            ref = digest(record.statement)
+            ref = record.payload_digest()
         endorsement = self.system.directory.sign(
             self.node_id, {"type": "endorse", "ref": ref})
-        for neighbor in self.system.topology.neighbors(self.node_id):
+        # One frozen envelope shared by every per-neighbour copy: the
+        # record is signed and immutable, so receivers can safely alias
+        # it, and N neighbours cost one tuple build instead of N.
+        envelope = payload + (endorsement,)
+        neighbors = (self._neighbors if self._fastpath
+                     else self.system.topology.neighbors(self.node_id))
+        for neighbor in neighbors:
             if neighbor == exclude:
                 continue
             message = Message(
                 src=self.node_id, dst=neighbor, kind=MessageKind.EVIDENCE,
-                payload=payload + (endorsement,), size_bits=bits,
+                payload=envelope, size_bits=bits,
             )
             self.system.transmit(self.node_id, neighbor, message)
 
@@ -1091,12 +1145,19 @@ class NodeAgent:
             self._last_heartbeat[origin] = self.sim.now
         if self.node.crashed:
             return
-        for neighbor in self.system.topology.neighbors(self.node_id):
+        neighbors = (self._neighbors if self._fastpath
+                     else self.system.topology.neighbors(self.node_id))
+        # Hoisted out of the loop: the payload tuple is immutable and
+        # identical for every copy, and transmit is rebound per run.
+        payload = ("heartbeat", origin, k)
+        transmit = self.system.transmit
+        me = self.node_id
+        for neighbor in neighbors:
             if neighbor == exclude:
                 continue
-            self.system.transmit(self.node_id, neighbor, Message(
-                src=self.node_id, dst=neighbor, kind=MessageKind.CONTROL,
-                payload=("heartbeat", origin, k), size_bits=128,
+            transmit(me, neighbor, Message(
+                src=me, dst=neighbor, kind=MessageKind.CONTROL,
+                payload=payload, size_bits=128,
             ))
 
     # ----------------------------------------------------------- control

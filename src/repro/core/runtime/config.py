@@ -89,6 +89,17 @@ class BTRConfig:
     #: planning when distance-minimising placement is on.
     symmetry_memo: bool = False
 
+    # --- online runtime performance (repro.perf.fastpath) ----------------
+    #: Memoise signature verification results in the KeyDirectory so a
+    #: statement broadcast to N correct receivers pays the HMAC once.
+    #: Behaviour preserving: full-mode traces are byte-identical with the
+    #: fast path on and off (E17 asserts this).
+    runtime_fastpath: bool = True
+    #: Trace recording mode: "full" keeps every event; "milestones" keeps
+    #: only recovery-relevant kinds and tallies per-hop traffic;
+    #: "counts-only" tallies everything (see :mod:`repro.sim.trace`).
+    trace_mode: str = "full"
+
     def __post_init__(self) -> None:
         if self.f < 1:
             raise ValueError("BTR needs f >= 1 (use the unreplicated "
@@ -99,3 +110,9 @@ class BTRConfig:
             raise ValueError("suppress_periods must be >= 0")
         if self.planner_jobs < 0:
             raise ValueError("planner_jobs must be >= 0 (0 = all cores)")
+        from ...sim.trace import TRACE_MODES
+        if self.trace_mode not in TRACE_MODES:
+            raise ValueError(
+                f"trace_mode must be one of {TRACE_MODES}, "
+                f"got {self.trace_mode!r}"
+            )

@@ -27,6 +27,7 @@ consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Dict, List, Optional, Union
 
 from ...crypto.signatures import KeyDirectory
@@ -119,7 +120,10 @@ class BTRSystem:
                                                  workload.sinks)
         self.router = Router(topology)
         self.lane_model = LaneModel(topology, self.config.lanes)
-        self.directory = KeyDirectory(master_seed=self.config.seed)
+        self.directory = KeyDirectory(
+            master_seed=self.config.seed,
+            verify_memo=self.config.runtime_fastpath,
+        )
         for node_id in topology.nodes:
             self.directory.register(node_id)
         self.strategy: Optional[Strategy] = None
@@ -132,10 +136,22 @@ class BTRSystem:
         #: Filled by prepare(): how the strategy was obtained (cache hit,
         #: plans computed vs memoised, worker count, wall time).
         self.plan_stats = None
+        #: Fast-path (sender, receiver, kind) -> (link, lane, node) memo.
+        #: Topology is static within a run (link scripts only mutate loss
+        #: rates), but lane objects are rebuilt by lane_model.install(),
+        #: so run() clears this cache. Filled lazily by _transmit_fast().
+        self._edge_cache: Dict[tuple, tuple] = {}
         # Per-run state:
         self.sim: Optional[Simulator] = None
         self.trace: Optional[Trace] = None
         self.agents: Dict[str, NodeAgent] = {}
+        #: Per-run hot-path trace state (set by run()): whether per-hop
+        #: message events are retained, and the local tallies flushed into
+        #: the trace at end of run when they are not.
+        self._hops_retained = True
+        self._tally_sent = 0
+        self._tally_delivered = 0
+        self._tally_dropped = 0
 
     # ------------------------------------------------------------- prepare
 
@@ -288,8 +304,26 @@ class BTRSystem:
         period = self.workload.period
         duration = n_periods * period
 
-        self.sim = Simulator(seed=self.config.seed)
-        self.trace = Trace()
+        self.sim = Simulator(seed=self.config.seed,
+                             fast_heap=self.config.runtime_fastpath)
+        self.trace = Trace(mode=self.config.trace_mode)
+        self.directory.begin_run()
+        # Per-hop message events always share a fate across modes (full
+        # retains all three, the reduced modes none), so transmit() keys
+        # off one flag and counts locally instead of allocating.
+        self._hops_retained = (self.trace.retains(MessageSent)
+                               and self.trace.retains(MessageDelivered)
+                               and self.trace.retains(MessageDropped))
+        self._tally_sent = 0
+        self._tally_delivered = 0
+        self._tally_dropped = 0
+        # lane_model.install() below replaces every Lane object, so cached
+        # (link, lane, node) entries from a previous run are stale.
+        self._edge_cache.clear()
+        # Bind the per-message entry point once instead of branching on
+        # the config per hop (transmit() documents this).
+        self.transmit = (self._transmit_fast if self.config.runtime_fastpath
+                         else self._transmit_legacy)
         clock_rng = self.sim.rng.fork("clocks")
         for node_id, node in sorted(self.topology.nodes.items()):
             node.reset()
@@ -335,6 +369,13 @@ class BTRSystem:
         self.sim.call_at(0, lambda: tick(0))
         self.sim.run_until(duration)
 
+        if self._tally_sent:
+            self.trace.tally(MessageSent, self._tally_sent)
+        if self._tally_delivered:
+            self.trace.tally(MessageDelivered, self._tally_delivered)
+        if self._tally_dropped:
+            self.trace.tally(MessageDropped, self._tally_dropped)
+
         # Flows deliberately shed by the plan in force at the end of the
         # run, excused from the first mode switch onward.
         excused: Dict[str, int] = {}
@@ -355,6 +396,15 @@ class BTRSystem:
         self.metrics.set_gauge("sim_events_executed",
                                self.sim.events_executed)
         self.metrics.set_gauge("trace_events", len(self.trace))
+        self.metrics.inc("crypto_hmac", value=self.directory.signs,
+                         op="sign")
+        self.metrics.inc("crypto_hmac", value=self.directory.verifies,
+                         op="verify")
+        memo = self.directory.verify_memo
+        if memo is not None:
+            self.metrics.inc("verify_memo", value=memo.hits, result="hit")
+            self.metrics.inc("verify_memo", value=memo.misses,
+                             result="miss")
         return RunResult(
             trace=self.trace,
             config=self.config,
@@ -411,32 +461,139 @@ class BTRSystem:
     # ------------------------------------------------------------ messaging
 
     def transmit(self, sender: str, receiver: str, message: Message) -> None:
-        """One-hop transmission on the shared substrate, with tracing."""
+        """One-hop transmission on the shared substrate, with tracing.
+
+        run() rebinds this name on the instance to either
+        :meth:`_transmit_legacy` or :meth:`_transmit_fast`, so the hot
+        path pays no per-message dispatch; this method only serves calls
+        made before the first run().
+        """
+        if self.config.runtime_fastpath:
+            self._transmit_fast(sender, receiver, message)
+            return
+        self._transmit_legacy(sender, receiver, message)
+
+    def _transmit_legacy(self, sender: str, receiver: str,
+                         message: Message) -> None:
         link = self.topology.nodes[sender].link_to(receiver)
         if link is None:
             return
-        self.trace.record(MessageSent(
-            time=self.sim.now, src=sender, dst=receiver,
-            kind=message.kind.value, size_bits=message.size_bits,
-            flow=message.flow,
-        ))
+        trace = self.trace
+        retained = self._hops_retained
+        if retained:
+            trace.record(MessageSent(
+                time=self.sim.now, src=sender, dst=receiver,
+                kind=message.kind.value, size_bits=message.size_bits,
+                flow=message.flow,
+            ))
+        else:
+            self._tally_sent += 1
 
         def deliver(msg: Message, at: int) -> None:
-            self.trace.record(MessageDelivered(
-                time=at, src=sender, dst=receiver, kind=msg.kind.value,
-                flow=msg.flow,
-            ))
+            if retained:
+                trace.record(MessageDelivered(
+                    time=at, src=sender, dst=receiver, kind=msg.kind.value,
+                    flow=msg.flow,
+                ))
+            else:
+                self._tally_delivered += 1
             self.topology.nodes[receiver].deliver(msg, at)
 
         def dropped(msg: Message) -> None:
-            self.trace.record(MessageDropped(
-                time=self.sim.now, src=sender, dst=receiver,
-                kind=msg.kind.value, reason="link_loss",
-            ))
+            if retained:
+                trace.record(MessageDropped(
+                    time=self.sim.now, src=sender, dst=receiver,
+                    kind=msg.kind.value, reason="link_loss",
+                ))
+            else:
+                self._tally_dropped += 1
             self.metrics.inc("messages_dropped", reason="link_loss")
 
         link.transmit(self.sim, message, sender, receiver, deliver,
                       on_drop=dropped)
+
+    def _transmit_fast(self, sender: str, receiver: str,
+                       message: Message) -> None:
+        """Inlined transmit for the runtime fast path.
+
+        Behaviour-identical to the legacy path above — same lane math,
+        same RNG consumption (one draw iff the link is lossy), exactly
+        one scheduled event per hop in the same (time, seq) order — but
+        with the per-message link/lane lookup memoised per edge and the
+        per-hop closure allocations replaced by two bound-method partials.
+        Byte-identity of full-mode traces is asserted by E17 and the
+        determinism tests.
+        """
+        # kind._value_ (a str) rather than the enum member: tuple hashing
+        # then stays entirely at C level instead of calling Enum.__hash__
+        # per message, and the private attribute skips the
+        # DynamicClassAttribute descriptor behind ``.value``.
+        key = (sender, receiver, message.kind._value_)
+        entry = self._edge_cache.get(key)
+        if entry is None:
+            link = self.topology.nodes[sender].link_to(receiver)
+            if link is None:
+                return
+            entry = (link, link.lane_for(sender, message.kind),
+                     self.topology.nodes[receiver])
+            self._edge_cache[key] = entry
+        link, lane, node = entry
+        sim = self.sim
+        # Per-hop events dominate trace volume; in milestone/counts modes
+        # skip the dataclass allocation entirely and count locally (the
+        # counters are flushed into the trace tallies at end of run).
+        if self._hops_retained:
+            self.trace.record(MessageSent(
+                time=sim.now, src=sender, dst=receiver,
+                kind=message.kind.value, size_bits=message.size_bits,
+                flow=message.flow,
+            ))
+        else:
+            self._tally_sent += 1
+        now = sim.now
+        free = lane.next_free
+        start = now if now >= free else free
+        duration = message.size_bits / lane.rate_bits_per_us
+        duration = int(round(duration))
+        if duration < 1:
+            duration = 1
+        lane.next_free = start + duration
+        lane.bits_sent += message.size_bits
+        arrival = start + duration + link.propagation_us
+        if link.loss_probability > 0.0 \
+                and sim.rng.random() < link.loss_probability:
+            sim.schedule(arrival, partial(
+                self._dropped_fast, sender, receiver, message))
+            return
+        sim.schedule(arrival, partial(
+            self._deliver_fast, node, sender, receiver, message, arrival))
+
+    def _deliver_fast(self, node, sender: str, receiver: str,
+                      message: Message, arrival: int) -> None:
+        if self._hops_retained:
+            self.trace.record(MessageDelivered(
+                time=arrival, src=sender, dst=receiver,
+                kind=message.kind.value, flow=message.flow,
+            ))
+        else:
+            self._tally_delivered += 1
+        # Inlined Node.deliver: same crashed check, same handler order.
+        # Handlers are registered once at run setup and never mutated
+        # mid-dispatch, so the defensive list() copy is skipped.
+        if not node.crashed:
+            for handler in node._handlers:
+                handler(message, arrival)
+
+    def _dropped_fast(self, sender: str, receiver: str,
+                      message: Message) -> None:
+        if self._hops_retained:
+            self.trace.record(MessageDropped(
+                time=self.sim.now, src=sender, dst=receiver,
+                kind=message.kind.value, reason="link_loss",
+            ))
+        else:
+            self._tally_dropped += 1
+        self.metrics.inc("messages_dropped", reason="link_loss")
 
     def send_routed(self, agent: NodeAgent, message: Message,
                     plan) -> None:

@@ -4,6 +4,11 @@ Evidence records carry *signed statements* — e.g. "node X sent value v for
 flow f in period k at local time t". An :class:`AuthenticatedStatement`
 bundles the statement payload with its signature and knows its wire size, so
 the evidence distributor can account for bandwidth precisely.
+
+Statements are immutable, so the canonical byte string and its digest are
+computed at most once per statement lifetime and cached on the instance;
+``sign``, ``verify``, dedup keys, and ``wire_bits`` all reuse the same
+bytes instead of re-running ``json.dumps`` per call site.
 """
 
 from __future__ import annotations
@@ -20,9 +25,19 @@ def digest(payload: Any) -> str:
     return hashlib.sha256(canonical_bytes(payload)).hexdigest()[:16]
 
 
+def _digest_of(canonical: bytes) -> str:
+    return hashlib.sha256(canonical).hexdigest()[:16]
+
+
 @dataclass(frozen=True)
 class AuthenticatedStatement:
-    """A statement plus the signature of the node that made it."""
+    """A statement plus the signature of the node that made it.
+
+    The payload dict is treated as frozen after construction (nothing in
+    the runtime mutates a signed statement — doing so would invalidate
+    the signature anyway), which is what makes the canonical-bytes and
+    digest caches sound.
+    """
 
     statement: dict
     signature: Signature
@@ -30,11 +45,30 @@ class AuthenticatedStatement:
     @classmethod
     def make(cls, directory: KeyDirectory, signer: str,
              statement: dict) -> "AuthenticatedStatement":
-        return cls(statement=statement,
-                   signature=directory.sign(signer, statement))
+        canonical = canonical_bytes(statement)
+        stmt = cls(statement=statement,
+                   signature=directory.sign_bytes(signer, canonical))
+        object.__setattr__(stmt, "_canonical", canonical)
+        return stmt
+
+    def canonical(self) -> bytes:
+        """The canonical serialization, computed at most once."""
+        cached = self.__dict__.get("_canonical")
+        if cached is None:
+            cached = canonical_bytes(self.statement)
+            object.__setattr__(self, "_canonical", cached)
+        return cached
+
+    def payload_digest(self) -> str:
+        """``digest(self.statement)``, computed at most once."""
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            cached = _digest_of(self.canonical())
+            object.__setattr__(self, "_digest", cached)
+        return cached
 
     def valid(self, directory: KeyDirectory) -> bool:
-        return directory.verify(self.statement, self.signature)
+        return directory.verify_statement(self)
 
     @property
     def signer(self) -> str:
@@ -42,4 +76,4 @@ class AuthenticatedStatement:
 
     def wire_bits(self) -> int:
         """Approximate wire size: canonical payload + signature."""
-        return len(canonical_bytes(self.statement)) * 8 + Signature.WIRE_BITS
+        return len(self.canonical()) * 8 + Signature.WIRE_BITS

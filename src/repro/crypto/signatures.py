@@ -60,9 +60,27 @@ class KeyDirectory:
     running *as* node X calls ``sign(X, ...)``.
     """
 
-    def __init__(self, master_seed: int = 0) -> None:
+    def __init__(self, master_seed: int = 0,
+                 verify_memo: bool = False) -> None:
         self._master_seed = master_seed
         self._keys: Dict[str, bytes] = {}
+        #: HMAC computations actually performed (memo hits excluded).
+        self.signs = 0
+        self.verifies = 0
+        self.verify_memo = None
+        if verify_memo:
+            # Lazy import: repro.perf.__init__ pulls in the offline
+            # planner stack, which would be a circular import at crypto
+            # module load time.
+            from ..perf.fastpath import VerifyMemo
+            self.verify_memo = VerifyMemo()
+
+    def begin_run(self) -> None:
+        """Reset per-run state (memo + counters) so runs stay independent."""
+        self.signs = 0
+        self.verifies = 0
+        if self.verify_memo is not None:
+            self.verify_memo.clear()
 
     def register(self, node_id: str) -> None:
         """Provision a key for ``node_id`` (idempotent)."""
@@ -75,20 +93,54 @@ class KeyDirectory:
         return node_id in self._keys
 
     def sign(self, signer: str, payload: Any) -> Signature:
+        return self.sign_bytes(signer, canonical_bytes(payload))
+
+    def sign_bytes(self, signer: str, canonical: bytes) -> Signature:
+        """Sign an already-canonicalized payload (the fast path)."""
         key = self._keys.get(signer)
         if key is None:
             raise SignatureError(f"no key registered for {signer!r}")
-        tag = hmac.new(key, canonical_bytes(payload), hashlib.sha256)
+        self.signs += 1
+        tag = hmac.new(key, canonical, hashlib.sha256)
         return Signature(signer=signer, tag=tag.hexdigest())
 
     def verify(self, payload: Any, signature: Signature) -> bool:
         """True iff ``signature`` is a valid tag by its claimed signer."""
+        return self.verify_bytes(canonical_bytes(payload), signature)
+
+    def verify_bytes(self, canonical: bytes, signature: Signature) -> bool:
+        """Verify against an already-canonicalized payload (the fast path)."""
         key = self._keys.get(signature.signer)
         if key is None:
             return False
-        expected = hmac.new(key, canonical_bytes(payload),
-                            hashlib.sha256).hexdigest()
+        self.verifies += 1
+        expected = hmac.new(key, canonical, hashlib.sha256).hexdigest()
         return hmac.compare_digest(expected, signature.tag)
+
+    def verify_statement(self, stmt) -> bool:
+        """Verify an :class:`AuthenticatedStatement`, memoised if enabled.
+
+        The memo key is ``(signer, tag, payload_digest)`` — everything
+        the HMAC check depends on — and only *valid* results are stored,
+        so a forged signature is recomputed (and rejected) on every call
+        and can never be served as valid from the cache.
+
+        Without the memo this is the legacy runtime: the payload is
+        re-serialized on every verification, exactly as the pre-fastpath
+        code did, so the ``runtime_fastpath=False`` benchmark column is a
+        faithful baseline rather than a half-optimised hybrid.
+        """
+        memo = self.verify_memo
+        if memo is None:
+            return self.verify(stmt.statement, stmt.signature)
+        sig = stmt.signature
+        key = (sig.signer, sig.tag, stmt.payload_digest())
+        if memo.hit(key):
+            return True
+        ok = self.verify_bytes(stmt.canonical(), sig)
+        if ok:
+            memo.add_valid(key)
+        return ok
 
     def forge(self, claimed_signer: str, payload: Any) -> Signature:
         """An *invalid* signature claiming to be from ``claimed_signer``.

@@ -52,6 +52,21 @@ from ..sim.trace import (
     PathDeclared,
 )
 
+#: The trace-event kinds timeline reconstruction consumes. All are in
+#: :data:`repro.sim.trace.MILESTONE_KINDS`, so ``full`` and
+#: ``milestones`` recording modes both support observability;
+#: ``counts-only`` traces are rejected up front (see
+#: :func:`reconstruct_timelines`).
+REQUIRED_KINDS: Tuple[type, ...] = (
+    FaultInjected,
+    PathDeclared,
+    EvidenceGenerated,
+    EvidenceAccepted,
+    ModeSwitchStarted,
+    ModeSwitchCompleted,
+    OutputProduced,
+)
+
 #: Phase names, in timeline order.
 PHASES: Tuple[str, ...] = (
     "detect", "convict", "quorum", "switch", "settle", "residual",
@@ -122,6 +137,15 @@ def reconstruct_timelines(result) -> List[FaultTimeline]:
     """
     from ..analysis.correctness import recovery_times
 
+    retains = getattr(result.trace, "retains", None)
+    if retains is not None:
+        missing = [k.__name__ for k in REQUIRED_KINDS if not retains(k)]
+        if missing:
+            raise ValueError(
+                "trace was recorded without the event kinds timeline "
+                f"reconstruction needs ({', '.join(missing)}); rerun with "
+                "trace_mode='full' or 'milestones'"
+            )
     faults = sorted(result.trace.of_kind(FaultInjected),
                     key=lambda e: (e.time, e.node))
     if not faults:

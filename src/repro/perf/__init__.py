@@ -1,12 +1,16 @@
-"""Offline performance layer: parallel planning, memoisation, caching.
+"""Performance layer: offline planning speed and the online fast path.
 
-Nothing in here changes *what* the planner computes — only how fast the
-artifact is produced and whether it is recomputed at all:
+Nothing in here changes *what* the planner or runtime computes — only
+how fast the artifact is produced and whether work is recomputed at all:
 
 * :func:`build_strategy_fanout` — level-synchronous process fan-out over
   fault patterns, with optional structural symmetry memoisation;
 * :class:`StrategyCache` / :func:`strategy_cache_key` — content-keyed
   on-disk reuse of finished strategies;
+* :mod:`repro.perf.fastpath` — the online-runtime fast path: the
+  signature :class:`VerifyMemo` (positive-only, deterministic eviction)
+  plus trace fingerprints for byte-identity checks. Kept stdlib-only so
+  the crypto layer can import it without cycles;
 * :mod:`repro.perf.timing` — the one sanctioned wall-clock module (the
   determinism lint restricts ``repro/perf/`` and exempts only it).
 
@@ -20,6 +24,7 @@ from .cache import (
     default_cache_dir,
     strategy_cache_key,
 )
+from .fastpath import VerifyMemo, online_stats, trace_fingerprint
 from .parallel import PlanningStats, build_strategy_fanout, resolve_jobs
 from .symmetry import (
     candidates_symmetric,
@@ -33,8 +38,11 @@ __all__ = [
     "default_cache_dir",
     "strategy_cache_key",
     "PlanningStats",
+    "VerifyMemo",
     "build_strategy_fanout",
+    "online_stats",
     "resolve_jobs",
+    "trace_fingerprint",
     "candidates_symmetric",
     "pattern_permutation",
     "rename_plan",

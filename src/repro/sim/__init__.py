@@ -19,6 +19,8 @@ from .node import CpuLane, Node
 from .random import DeterministicRandom
 from .time import MS, NEVER, S, US, format_time, ms, seconds, to_seconds, us
 from .trace import (
+    MILESTONE_KINDS,
+    TRACE_MODES,
     Custom,
     EvidenceAccepted,
     EvidenceGenerated,
@@ -60,6 +62,8 @@ __all__ = [
     "seconds",
     "to_seconds",
     "us",
+    "MILESTONE_KINDS",
+    "TRACE_MODES",
     "Custom",
     "EvidenceAccepted",
     "EvidenceGenerated",

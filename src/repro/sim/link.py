@@ -111,6 +111,20 @@ class Link:
 
     # ----------------------------------------------------------- transmit
 
+    def lane_for(self, sender: str, kind: MessageKind):
+        """The reserved lane for ``(sender, kind)``.
+
+        Same error contract as :meth:`transmit`; exposed so the runtime
+        fast path can resolve the lane once per edge and inline the
+        serialization math instead of re-looking it up per message.
+        """
+        lane = self._lanes.get((sender, kind))
+        if lane is None:
+            raise ReservationError(
+                f"no lane for ({sender}, {kind.value}) on {self.link_id}"
+            )
+        return lane
+
     def transmission_time(self, sender: str, kind: MessageKind, size_bits: int) -> int:
         """Pure transmission (serialization) delay on the sender's lane, µs."""
         lane = self._lanes.get((sender, kind))

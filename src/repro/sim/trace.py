@@ -5,6 +5,22 @@ sink outputs, faults, evidence, mode switches — is appended to a single
 :class:`Trace`. The trace is the ground truth that the analysis layer (the
 Definition 3.1 checker, latency decompositions, metrics) consumes; nothing in
 the analysis peeks at simulator internals.
+
+Recording modes trade fidelity for speed on benchmark sweeps:
+
+* ``full`` (default) — every event is retained, as before;
+* ``milestones`` — only the recovery-relevant kinds
+  (:data:`MILESTONE_KINDS`) are retained; per-hop traffic
+  (``MessageSent``/``MessageDelivered``/``MessageDropped``/
+  ``TaskExecuted``) is tallied per kind but not allocated;
+* ``counts-only`` — nothing is retained, everything is tallied.
+
+Hot producers should ask :meth:`Trace.wants` before *constructing* an
+event and call :meth:`Trace.tally` instead when the answer is no — that
+is where the allocation win comes from. ``record()`` still accepts any
+event in any mode (tallying unretained kinds), so cold producers need no
+changes. ``count()``/``kind_counts()`` merge tallies with retained
+events, so the event census is mode-independent.
 """
 
 from __future__ import annotations
@@ -135,6 +151,29 @@ class Custom(TraceEvent):
 
 E = TypeVar("E", bound=TraceEvent)
 
+#: Recording modes, in decreasing order of fidelity.
+MODE_FULL = "full"
+MODE_MILESTONES = "milestones"
+MODE_COUNTS_ONLY = "counts-only"
+TRACE_MODES = (MODE_FULL, MODE_MILESTONES, MODE_COUNTS_ONLY)
+
+#: The kinds retained in ``milestones`` mode: everything the analysis and
+#: observability layers need to reconstruct recovery timelines and check
+#: Definition 3.1 — faults, evidence flow, mode switches, outputs — but
+#: not the per-hop traffic that dominates event volume.
+MILESTONE_KINDS = frozenset({
+    OutputProduced,
+    FaultInjected,
+    EvidenceGenerated,
+    EvidenceAccepted,
+    EvidenceRejected,
+    PathDeclared,
+    ModeSwitchStarted,
+    ModeSwitchCompleted,
+    TaskShed,
+    Custom,
+})
+
 
 class Trace:
     """An append-only, time-ordered event log for one run.
@@ -145,12 +184,42 @@ class Trace:
     time. ``between`` binary-searches the time-ordered log.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, mode: str = MODE_FULL) -> None:
+        if mode not in TRACE_MODES:
+            raise ValueError(
+                f"unknown trace mode {mode!r}; expected one of {TRACE_MODES}"
+            )
+        self.mode = mode
         self._events: List[TraceEvent] = []
         #: Per-concrete-type index, maintained on record().
         self._by_kind: Dict[type, List[TraceEvent]] = {}
+        #: Per-kind-name counts of events tallied but not retained.
+        self._tallies: Dict[str, int] = {}
+        if mode == MODE_FULL:
+            self._retained: Optional[frozenset] = None
+        elif mode == MODE_MILESTONES:
+            self._retained = MILESTONE_KINDS
+        else:
+            self._retained = frozenset()
+
+    def retains(self, kind: Type[TraceEvent]) -> bool:
+        """Would an event of this kind be kept (vs merely tallied)?"""
+        return self._retained is None or kind in self._retained
+
+    # ``wants`` is the hot-producer spelling of ``retains``: call it
+    # before building the event object, and ``tally`` instead when the
+    # answer is no — skipping the dataclass allocation entirely.
+    wants = retains
+
+    def tally(self, kind: Type[TraceEvent], n: int = 1) -> None:
+        """Count ``n`` events of ``kind`` without allocating them."""
+        name = kind.__name__
+        self._tallies[name] = self._tallies.get(name, 0) + n
 
     def record(self, event: TraceEvent) -> None:
+        if not self.retains(type(event)):
+            self.tally(type(event))
+            return
         if self._events and event.time < self._events[-1].time:
             # Events are produced by the engine in time order; a violation
             # indicates a bug in the producer, not the trace.
@@ -173,8 +242,13 @@ class Trace:
         return list(self._by_kind.get(kind, ()))  # type: ignore[arg-type]
 
     def count(self, kind: Type[E]) -> int:
-        """Number of events of exactly the given type. O(1)."""
-        return len(self._by_kind.get(kind, ()))
+        """Number of events of exactly the given type. O(1).
+
+        Includes tallied-but-unretained events, so counts are
+        mode-independent.
+        """
+        return (len(self._by_kind.get(kind, ()))
+                + self._tallies.get(kind.__name__, 0))
 
     def between(self, start: int, end: int) -> List[TraceEvent]:
         """Events with start ≤ time < end."""
@@ -198,9 +272,11 @@ class Trace:
 
         The observability layer exports this as the run's event census;
         keeping the ordering deterministic keeps the JSON diffable.
+        Tallied-but-unretained events are included, so the census is the
+        same in every recording mode.
         """
-        return {
-            cls.__name__: len(events)
-            for cls, events in sorted(self._by_kind.items(),
-                                      key=lambda kv: kv[0].__name__)
-        }
+        counts = {cls.__name__: len(events)
+                  for cls, events in self._by_kind.items()}
+        for name, n in self._tallies.items():
+            counts[name] = counts.get(name, 0) + n
+        return {name: counts[name] for name in sorted(counts)}

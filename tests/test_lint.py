@@ -196,3 +196,20 @@ def test_main_list_rules(capsys):
 def test_shipped_tree_is_lint_clean():
     src = Path(__file__).resolve().parent.parent / "src"
     assert lint_paths([str(src)]) == []
+
+
+def test_fastpath_module_is_in_lint_scope(tmp_path):
+    """The online fast path lives in the determinism-critical layer: a
+    wall-clock read or unseeded RNG sneaking into repro/perf/fastpath.py
+    must be flagged (only perf/timing.py is sanctioned to read time)."""
+    from tools.lint.rules import _in_restricted_layer
+
+    assert _in_restricted_layer("src/repro/perf/fastpath.py")
+    assert not _in_restricted_layer("src/repro/perf/timing.py")
+
+    pkg = tmp_path / "repro" / "perf"
+    pkg.mkdir(parents=True)
+    (pkg / "fastpath.py").write_text(
+        "import time\nstamp = time.monotonic()\n")
+    violations = lint_paths([str(tmp_path)])
+    assert [v.rule for v in violations] == ["wallclock"]

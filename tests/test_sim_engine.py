@@ -169,3 +169,88 @@ def test_rng_forks_with_different_labels_differ():
     x = sim.rng.fork("x").random()
     y = sim.rng.fork("y").random()
     assert x != y
+
+
+# ------------------------------------------------------- fast heap / guards
+
+
+def test_run_is_reentrancy_guarded():
+    sim = Simulator()
+    seen = []
+
+    def reenter():
+        with pytest.raises(SimulationError, match="re-entrantly"):
+            sim.run()
+        seen.append(sim.now)
+
+    sim.call_at(5, reenter)
+    sim.run()
+    assert seen == [5]
+    # The guard releases: a fresh run() afterwards works.
+    sim.call_at(10, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [5, 10]
+
+
+def test_run_until_is_reentrancy_guarded_with_fast_heap():
+    sim = Simulator(fast_heap=True)
+
+    def reenter():
+        with pytest.raises(SimulationError, match="re-entrantly"):
+            sim.run_until(100)
+
+    sim.call_at(1, reenter)
+    sim.run_until(50)
+    assert sim.now == 50
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**6),
+                min_size=1, max_size=60),
+       st.sets(st.integers(min_value=0, max_value=59)))
+def test_property_fast_heap_matches_legacy_order(times, cancel_idx):
+    """The tuple-based fast heap fires the same events in the same order
+    as the legacy _Event heap, including under cancellation."""
+    logs = {}
+    for fast in (False, True):
+        sim = Simulator(seed=3, fast_heap=fast)
+        log = logs.setdefault(fast, [])
+        handles = []
+        for i, t in enumerate(times):
+            handles.append(
+                sim.call_at(t, lambda i=i: log.append((sim.now, i))))
+        for i in cancel_idx:
+            if i < len(handles):
+                handles[i].cancel()
+        sim.run()
+    assert logs[True] == logs[False]
+
+
+def test_schedule_interleaves_with_call_at_in_seq_order():
+    """schedule() (handle-free fast-path entries) shares the sequence
+    counter with call_at, so ties at one timestamp fire in submission
+    order regardless of which API queued them."""
+    sim = Simulator(fast_heap=True)
+    fired = []
+    sim.call_at(7, lambda: fired.append("a"))
+    sim.schedule(7, lambda: fired.append("b"))
+    sim.call_at(7, lambda: fired.append("c"))
+    sim.schedule(5, lambda: fired.append("early"))
+    assert sim.pending_events() == 4
+    sim.run()
+    assert fired == ["early", "a", "b", "c"]
+    assert sim.events_executed == 4
+
+
+def test_fast_heap_compaction_spares_schedule_entries():
+    sim = Simulator(fast_heap=True)
+    fired = []
+    # Enough cancellable timers to trigger compaction (>= 64 queued,
+    # cancelled majority), with bare schedule() entries interleaved.
+    handles = [sim.call_at(100 + i, lambda: fired.append("timer"))
+               for i in range(80)]
+    for i in range(10):
+        sim.schedule(50 + i, lambda i=i: fired.append(i))
+    for h in handles:
+        h.cancel()
+    sim.run()
+    assert fired == list(range(10))

@@ -22,7 +22,11 @@ trajectories land next to the report:
   ``planner_stats.jsonl`` stream the benchmark harness appends to;
 * ``BENCH_obs.json`` — aggregated recovery-timeline observability
   (per-fault-kind phase spans, phase-sum integrity, dropped-message
-  counters) from the ``obs_stats.jsonl`` stream.
+  counters) from the ``obs_stats.jsonl`` stream;
+* ``BENCH_sim.json`` — aggregated online-runtime fast-path results
+  (per-scenario wall times, speedups, verify-memo hit rates, and the
+  trace byte-identity verdicts) from the ``sim_stats.jsonl`` stream
+  that E17 appends to.
 
 Usage:  python tools/run_experiments.py [--jobs N] [--only SUBSTR]
                 [--cache DIR | --no-cache] [--skip-run] [--skip-verify]
@@ -43,6 +47,7 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 RESULTS = os.path.join(REPO, "benchmarks", "results")
 PLANNER_STATS = os.path.join(RESULTS, "planner_stats.jsonl")
 OBS_STATS = os.path.join(RESULTS, "obs_stats.jsonl")
+SIM_STATS = os.path.join(RESULTS, "sim_stats.jsonl")
 CACHE_ENV_VAR = "REPRO_STRATEGY_CACHE"
 DEFAULT_CACHE = os.path.join(REPO, "benchmarks", ".strategy_cache")
 
@@ -67,6 +72,7 @@ ORDER = [
     "e14_rogue_clock",
     "e15_resource_dependence",
     "e16_link_faults",
+    "e17_online_throughput",
 ]
 
 
@@ -227,6 +233,65 @@ def aggregate_obs_stats() -> dict:
     }
 
 
+def aggregate_sim_stats() -> dict:
+    """Collapse E17's per-case jsonl into one online-runtime summary.
+
+    Groups per scenario: wall times and speedups (best + worst across
+    seeds, so a lucky run can't mask a regression), online events/sec,
+    verify-memo effectiveness, and whether *every* case's full-mode
+    trace was byte-identical with the fast path on and off — the one
+    invariant the fast path is not allowed to trade away.
+    """
+    records = _read_jsonl(SIM_STATS)
+    by_scenario: dict = {}
+    for r in records:
+        entry = by_scenario.setdefault(r.get("scenario", "?"), {
+            "cases": 0,
+            "sim_events": 0,
+            "best_speedup_full": None,
+            "worst_speedup_full": None,
+            "best_speedup_milestones": None,
+            "worst_speedup_milestones": None,
+            "best_events_per_s_on": 0,
+            "verifies_off": 0,
+            "verifies_on": 0,
+            "memo_hits": 0,
+            "memo_misses": 0,
+        })
+        entry["cases"] += 1
+        entry["sim_events"] = max(entry["sim_events"],
+                                  r.get("sim_events", 0))
+        for col in ("speedup_full", "speedup_milestones"):
+            value = r.get(col)
+            if value is None:
+                continue
+            best, worst = "best_" + col, "worst_" + col
+            entry[best] = (value if entry[best] is None
+                           else max(entry[best], value))
+            entry[worst] = (value if entry[worst] is None
+                            else min(entry[worst], value))
+        entry["best_events_per_s_on"] = max(
+            entry["best_events_per_s_on"], r.get("events_per_s_on") or 0)
+        for col in ("verifies_off", "verifies_on",
+                    "memo_hits", "memo_misses"):
+            entry[col] += r.get(col, 0)
+    for entry in by_scenario.values():
+        lookups = entry["memo_hits"] + entry["memo_misses"]
+        entry["memo_hit_rate"] = (round(entry["memo_hits"] / lookups, 3)
+                                  if lookups else None)
+    return {
+        "cases": len(records),
+        "all_traces_identical": all(r.get("traces_identical")
+                                    for r in records) if records else None,
+        "best_speedup_milestones": max(
+            (r.get("speedup_milestones") or 0 for r in records),
+            default=None),
+        "by_scenario": {k: by_scenario[k] for k in sorted(by_scenario)},
+        "experiments_seen": sorted({r.get("experiment", "?")
+                                    for r in records}),
+    }
+
+
 def write_json(path: str, payload: dict) -> None:
     tmp = path + ".tmp"
     with open(tmp, "w") as f:
@@ -304,11 +369,10 @@ def main() -> int:
                   file=sys.stderr)
             return 2
         os.makedirs(RESULTS, exist_ok=True)
-        # Fresh planning/obs-stats streams for this suite run.
-        with open(PLANNER_STATS, "w"):
-            pass
-        with open(OBS_STATS, "w"):
-            pass
+        # Fresh planning/obs/sim-stats streams for this suite run.
+        for stream in (PLANNER_STATS, OBS_STATS, SIM_STATS):
+            with open(stream, "w"):
+                pass
         print(f"running {len(files)} benchmark shards "
               f"(jobs={args.jobs}, cache="
               f"{cache_dir or 'disabled'})...")
@@ -318,9 +382,12 @@ def main() -> int:
                    aggregate_planner_stats())
         write_json(os.path.join(RESULTS, "BENCH_obs.json"),
                    aggregate_obs_stats())
+        write_json(os.path.join(RESULTS, "BENCH_sim.json"),
+                   aggregate_sim_stats())
         print(f"suite: {suite['total_wall_s']}s wall over "
               f"{len(files)} shards; perf trajectory in "
-              f"BENCH_suite.json / BENCH_planner.json / BENCH_obs.json")
+              f"BENCH_suite.json / BENCH_planner.json / "
+              f"BENCH_obs.json / BENCH_sim.json")
         failed = [s for s in suite["experiments"] if s["returncode"] != 0]
         if failed:
             print("benchmark shards failed: "

@@ -41,6 +41,12 @@ OBS_STATS_PATH = os.path.join(RESULTS_DIR, "obs_stats.jsonl")
 #: ``tools/run_experiments.py`` aggregates it into ``BENCH_sim.json``.
 SIM_STATS_PATH = os.path.join(RESULTS_DIR, "sim_stats.jsonl")
 
+#: Per-campaign model-checking stats (paths, dedup hit-rate, pruning
+#: ratio, states/sec), appended by :func:`record_mc` from the E18
+#: benchmark; ``tools/run_experiments.py`` aggregates it into
+#: ``BENCH_mc.json``.
+MC_STATS_PATH = os.path.join(RESULTS_DIR, "mc_stats.jsonl")
+
 
 def harness_cache_dir() -> Optional[str]:
     """The strategy-cache directory the benchmarks share.
@@ -99,6 +105,13 @@ def record_sim(row: dict, label: Optional[str] = None) -> None:
     if label is None:
         label = os.environ.get("PYTEST_CURRENT_TEST", "adhoc").split(" ")[0]
     append_jsonl(SIM_STATS_PATH, {"experiment": label, **row})
+
+
+def record_mc(row: dict, label: Optional[str] = None) -> None:
+    """Append one model-checking campaign's stats to the mc stream."""
+    if label is None:
+        label = os.environ.get("PYTEST_CURRENT_TEST", "adhoc").split(" ")[0]
+    append_jsonl(MC_STATS_PATH, {"experiment": label, **row})
 
 
 def write_result(name: str, text: str) -> None:

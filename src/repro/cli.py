@@ -26,6 +26,14 @@ Four commands:
     Render a saved observability report (``run --obs FILE``): the
     per-fault recovery phase breakdown, the budget-attribution table,
     and any dropped-message counters.
+
+``check``
+    Bounded model checking of the mode-switch protocol: explore the
+    product space of adversary choices × delivery orderings on a small
+    config, check the ``kR`` bound, agreement, and mode reachability on
+    every path, and either certify the config or emit a minimised,
+    replay-confirmed counterexample. Exits 0 when certified, 1 on
+    violations (or truncation), 2 on usage errors.
 """
 
 from __future__ import annotations
@@ -196,6 +204,53 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="render a saved observability report")
     trace.add_argument("report", metavar="RUN_JSON",
                        help="a report written by `repro run --obs FILE`")
+
+    check = sub.add_parser(
+        "check", help="bounded model checking of the mode-switch protocol")
+    common(check)
+    check.add_argument("--periods", type=int, default=0,
+                       help="simulated periods per path (0 = auto-size so "
+                            "the latest injection plus a full recovery "
+                            "budget fits)")
+    check.add_argument("--kinds", nargs="+", metavar="KIND",
+                       choices=sorted(BEHAVIOR_FACTORIES),
+                       default=["crash", "commission"],
+                       help="fault kinds the adversary may pick")
+    check.add_argument("--window", nargs=2, type=float, default=[2.0, 3.0],
+                       metavar=("LO", "HI"),
+                       help="injection window in periods: faults land in "
+                            "[LO*P, HI*P]")
+    check.add_argument("--ticks", type=int, default=2,
+                       help="injection ticks sampled across the window")
+    check.add_argument("--max-depth", type=int, default=2,
+                       help="max delivery perturbations along one path")
+    check.add_argument("--branch", type=int, default=3,
+                       help="max candidate perturbations per expansion")
+    check.add_argument("--delay-quantum-us", type=int, default=2000,
+                       help="extra delay per perturbation, microseconds")
+    check.add_argument("--max-states", type=int, default=400,
+                       help="per-cell path cap; exceeding it leaves the "
+                            "campaign uncertified")
+    check.add_argument("--workers", type=int, default=1,
+                       help="worker processes for the cell fan-out (the "
+                            "report is byte-identical for every value)")
+    check.add_argument("--R", type=float, default=None, dest="R",
+                       help="recovery bound to check, in seconds "
+                            "(default: the prepared budget)")
+    check.add_argument("--k", type=int, default=1,
+                       help="adversary strength multiplier: bound is k*R")
+    check.add_argument("--no-prune", action="store_true",
+                       help="disable sleep-set pruning of commuting "
+                            "deliveries (explores the pruned branches too)")
+    check.add_argument("--no-nominal", action="store_true",
+                       help="skip the fault-free cell")
+    check.add_argument("--report", metavar="FILE", default=None,
+                       help="write the full campaign report as JSON")
+    check.add_argument("--cex-dir", metavar="DIR", default=None,
+                       help="write each counterexample artifact into DIR")
+    check.add_argument("--replay", metavar="FILE", default=None,
+                       help="replay a counterexample artifact through the "
+                            "normal run path instead of exploring")
     return parser
 
 
@@ -394,6 +449,144 @@ def _compare_row(name: str, result, args) -> List[str]:
     ]
 
 
+def _check_replay(args) -> int:
+    """``repro check --replay FILE``: re-manifest a saved counterexample."""
+    import json
+
+    from .mc import replay_counterexample
+    from .mc.counterexample import counterexample_from_dict
+
+    try:
+        with open(args.replay) as f:
+            payload = json.load(f)
+        cell, deliveries = counterexample_from_dict(payload)
+    except (OSError, ValueError) as exc:
+        print(f"repro check: cannot replay artifact: {exc}",
+              file=sys.stderr)
+        return 2
+    # The artifact's meta pins the config it was found on; CLI flags fill
+    # any gaps so hand-built artifacts remain replayable.
+    meta = payload.get("meta") or {}
+    workload = WORKLOADS[meta.get("workload", args.workload)]()
+    topology = make_topology(meta.get("topology", args.topology),
+                             meta.get("bandwidth", args.bandwidth))
+    config = config_from_args(args)
+    if "f" in meta or "seed" in meta:
+        from dataclasses import replace
+        config = replace(config, f=meta.get("f", config.f),
+                         seed=meta.get("seed", config.seed))
+    system = BTRSystem(workload, topology, config)
+    system.prepare()
+    violations, result = replay_counterexample(system, payload)
+    print(f"replaying {cell.label()} with "
+          f"{len(deliveries)} delivery perturbation(s) over "
+          f"{payload['n_periods']} periods (R={payload['R_us']}us, "
+          f"k={payload['k']})")
+    print(result.summary())
+    if violations:
+        print(f"replay CONFIRMS {len(violations)} violation(s):")
+        for violation in violations:
+            print(f"  [{violation.invariant}] {violation.detail}")
+        return 1
+    print("replay does NOT reproduce the violation")
+    return 0
+
+
+def cmd_check(args) -> int:
+    import json
+    import os
+
+    if args.replay:
+        return _check_replay(args)
+
+    from .mc import CheckParams, run_campaign
+
+    if args.ticks < 1 or args.max_depth < 0 or args.branch < 1 \
+            or args.max_states < 1 or args.delay_quantum_us < 1:
+        print("repro check: bounds must be positive", file=sys.stderr)
+        return 2
+    params = CheckParams(
+        kinds=tuple(sorted(set(args.kinds))),
+        window=(args.window[0], args.window[1]),
+        ticks=args.ticks,
+        max_depth=args.max_depth,
+        branch=args.branch,
+        delay_quantum_us=args.delay_quantum_us,
+        max_paths=args.max_states,
+        n_periods=args.periods,
+        R_us=None if args.R is None else seconds(args.R),
+        k=args.k,
+        prune=not args.no_prune,
+        include_fault_free=not args.no_nominal,
+        workers=args.workers,
+        seed=args.seed,
+    )
+    meta = {"workload": args.workload, "topology": args.topology,
+            "bandwidth": args.bandwidth, "f": args.f, "seed": args.seed}
+    workload = WORKLOADS[args.workload]()
+    topology = make_topology(args.topology, args.bandwidth)
+    report, stats = run_campaign(workload, topology,
+                                 config_from_args(args),
+                                 params=params, meta=meta)
+
+    totals = report["totals"]
+    dedup_rate = (totals["dedup_hits"] / totals["paths"]
+                  if totals["paths"] else 0.0)
+    print(f"repro check: {args.workload} on {args.topology}, f={args.f}, "
+          f"R={report['params']['R_us']}us, k={report['params']['k']}, "
+          f"{report['params']['n_periods']} periods/path")
+    print(f"explored {totals['paths']} paths in {totals['cells']} cells: "
+          f"{totals['distinct_states']} distinct states, "
+          f"dedup hit-rate {dedup_rate:.0%}, "
+          f"{totals['pruned']} branches pruned "
+          f"({stats.wall_s:.2f}s wall, "
+          f"{stats.states_per_sec:.1f} paths/s, "
+          f"workers={stats.workers}"
+          + (", pool fallback" if stats.pool_fallback else "") + ")")
+    for violation in report["static_violations"]:
+        print(f"  [static] [{violation['invariant']}] "
+              f"{violation['detail']}")
+
+    counterexamples = []
+    for cell in report["cells"]:
+        if cell["truncated"]:
+            print(f"  {cell['cell']} truncated at "
+                  f"{cell['paths']} paths — raise --max-states to certify")
+        artifact = cell.get("counterexample")
+        if artifact is None:
+            continue
+        counterexamples.append(artifact)
+        label = (artifact["cell"]["victim"] and
+                 f"{artifact['cell']['victim']}/{artifact['cell']['kind']}"
+                 f"@{artifact['cell']['inject_at']}" or "nominal")
+        confirmed = ("replay-confirmed" if artifact["replay_confirmed"]
+                     else "NOT replay-confirmed")
+        print(f"  counterexample ({label}, "
+              f"{len(artifact['deliveries'])} delivery perturbation(s), "
+              f"{confirmed}):")
+        for violation in artifact["violations"]:
+            print(f"    [{violation['invariant']}] {violation['detail']}")
+
+    if args.cex_dir and counterexamples:
+        os.makedirs(args.cex_dir, exist_ok=True)
+        for i, artifact in enumerate(counterexamples):
+            path = os.path.join(args.cex_dir, f"cex_{i}.json")
+            with open(path, "w") as f:
+                json.dump(artifact, f, indent=2, sort_keys=True)
+            print(f"  counterexample written to {path} "
+                  f"(replay with: repro check --replay {path})")
+    if args.report:
+        with open(args.report, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+        print(f"campaign report written to {args.report}")
+
+    if report["certified"]:
+        print("CERTIFIED: all invariants hold on every explored path")
+        return 0
+    print("NOT CERTIFIED")
+    return 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -402,6 +595,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": cmd_compare,
         "verify": cmd_verify,
         "trace": cmd_trace,
+        "check": cmd_check,
     }[args.command]
     return handler(args)
 

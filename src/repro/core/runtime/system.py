@@ -288,7 +288,8 @@ class BTRSystem:
 
     def run(self, n_periods: int,
             adversary: Optional[Union[Adversary, FaultScript]] = None,
-            link_script: Optional[List[tuple]] = None) -> RunResult:
+            link_script: Optional[List[tuple]] = None,
+            delivery_hook=None) -> RunResult:
         """Execute ``n_periods`` of the deployment under ``adversary``.
 
         ``link_script`` optionally degrades links mid-run: a list of
@@ -298,6 +299,14 @@ class BTRSystem:
         bad link surfaces as path declarations charging both endpoints —
         the tie that strict-dominance attribution deliberately refuses to
         break. E16 measures exactly what that buys and costs.
+
+        ``delivery_hook`` optionally installs a message-delivery choice
+        point on the run's simulator (``hook(sender, receiver, arrival)
+        -> arrival``; see :attr:`~repro.sim.engine.Simulator
+        .delivery_hook`). The bounded model checker uses it to drive one
+        run down a specific delivery-ordering branch; counterexample
+        replay passes the recorded schedule back through this same
+        parameter, so the proof path is the normal run path.
         """
         if self.strategy is None:
             raise NotPreparedError("call prepare() before run()")
@@ -306,6 +315,7 @@ class BTRSystem:
 
         self.sim = Simulator(seed=self.config.seed,
                              fast_heap=self.config.runtime_fastpath)
+        self.sim.delivery_hook = delivery_hook
         self.trace = Trace(mode=self.config.trace_mode)
         self.directory.begin_run()
         # Per-hop message events always share a fate across modes (full
@@ -560,12 +570,17 @@ class BTRSystem:
         lane.next_free = start + duration
         lane.bits_sent += message.size_bits
         arrival = start + duration + link.propagation_us
+        if sim.delivery_hook is not None:
+            arrival = sim.delivery_hook(sender, receiver, arrival)
+        # schedule() (not call_at): delivery events are never cancelled,
+        # and arrival >= now by construction (start >= now, duration >= 1,
+        # hooks may only delay) — the engine re-checks the latter.
         if link.loss_probability > 0.0 \
                 and sim.rng.random() < link.loss_probability:
-            sim.schedule(arrival, partial(
+            sim.schedule(arrival, partial(  # lint: ignore[engine-schedule-bypass]
                 self._dropped_fast, sender, receiver, message))
             return
-        sim.schedule(arrival, partial(
+        sim.schedule(arrival, partial(  # lint: ignore[engine-schedule-bypass]
             self._deliver_fast, node, sender, receiver, message, arrival))
 
     def _deliver_fast(self, node, sender: str, receiver: str,

@@ -84,6 +84,55 @@ def make_behavior(kind: str, rng: Optional[DeterministicRandom] = None
     return factory(rng or DeterministicRandom(0))
 
 
+#: Bumped when the serialised script layout changes incompatibly.
+SCRIPT_VERSION = 1
+
+
+def script_signature(script: FaultScript) -> tuple:
+    """The structural identity of a script: ``(time, node, kind)`` per
+    injection, in script order. Two scripts with equal signatures inject
+    the same faults at the same places and times; behaviour *parameters*
+    beyond the kind (all defaulted by :data:`BEHAVIOR_FACTORIES`) are not
+    part of the identity."""
+    return tuple((i.time, i.node, i.behavior.kind) for i in script)
+
+
+def script_to_dict(script: FaultScript) -> dict:
+    """Serialise a script for artifacts (counterexamples, replays).
+
+    Only factory-made behaviours round-trip: the payload records each
+    injection's fault *kind*, and :func:`script_from_dict` rebuilds the
+    behaviour through :data:`BEHAVIOR_FACTORIES` with a deterministically
+    derived RNG fork — the same construction the runtime uses.
+    """
+    return {
+        "version": SCRIPT_VERSION,
+        "injections": [
+            {"time": i.time, "node": i.node, "kind": i.behavior.kind}
+            for i in script
+        ],
+    }
+
+
+def script_from_dict(payload: dict, seed: int = 0) -> FaultScript:
+    """Rebuild a script serialised by :func:`script_to_dict`.
+
+    ``seed`` roots the RNG forks handed to stochastic behaviours
+    (omission's drop draws); the same (payload, seed) pair always yields
+    the same script, so a replayed artifact reproduces byte-identically.
+    """
+    version = payload.get("version")
+    if version != SCRIPT_VERSION:
+        raise ValueError(f"unsupported fault-script version {version!r}")
+    root = DeterministicRandom(seed)
+    return FaultScript([
+        Injection(int(entry["time"]), str(entry["node"]),
+                  make_behavior(str(entry["kind"]),
+                                root.fork(f"inj{i}")))
+        for i, entry in enumerate(payload["injections"])
+    ])
+
+
 class Adversary:
     """Base adversary: compromises nothing."""
 

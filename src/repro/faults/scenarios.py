@@ -138,7 +138,7 @@ def link_death(system) -> Scenario:
     """The busiest data link dies (outside the node-fault model; E16)."""
     plan = system.strategy.nominal
     load: Dict[str, int] = {}
-    for route in plan.routes.values():
+    for _, route in sorted(plan.routes.items()):
         for a, b in zip(route[:-1], route[1:]):
             link = system.topology.link_between(a, b)
             load[link.link_id] = load.get(link.link_id, 0) + 1

@@ -1,0 +1,251 @@
+"""The check campaign: cells fanned out over workers, results merged.
+
+The campaign is the unit ``repro check`` runs: build the cell list
+(adversary choices × injection ticks, plus the nominal cell), explore
+each cell's delivery subtree, minimise and replay-confirm the first
+violating path per cell, and merge everything into one report.
+
+**Byte-reproducibility.** The merged report is a pure function of
+(workload, topology, config, params): cells are built in sorted order,
+each cell's subtree is explored by the same deterministic BFS whichever
+process runs it (fault behaviours derive their RNG from the seed and
+the cell alone, never from worker identity), visited sets are scoped
+per cell, and results are merged in cell order regardless of completion
+order. ``--workers 4`` therefore serialises byte-identically to
+``--workers 1`` — the tests assert it. Wall-clock figures live in the
+separate :class:`CheckStats`, never in the report.
+
+**Parallelism is an optimisation, never a semantic** (same contract as
+:mod:`repro.perf.parallel`): if a worker pool cannot be created the
+campaign degrades to in-process exploration and flags
+``pool_fallback`` in the stats.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.runtime.system import BTRSystem
+from ..perf.timing import Stopwatch
+from .choices import Cell, cell_script
+from .counterexample import counterexample_to_dict, replay_counterexample
+from .explorer import explore_cell, minimise_schedule
+from .invariants import static_mode_findings
+
+#: Bumped when the merged report layout changes incompatibly.
+MC_REPORT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CheckParams:
+    """Bounds and knobs of one campaign; frozen so it ships to workers
+    and into the report verbatim."""
+
+    #: Fault kinds the adversary may pick per cell.
+    kinds: Tuple[str, ...] = ("crash", "commission")
+    #: Injection window in periods: faults land in
+    #: ``[window[0] * P, window[1] * P]``.
+    window: Tuple[float, float] = (2.0, 3.0)
+    #: Injection ticks sampled evenly across the window.
+    ticks: int = 2
+    #: Max delivery perturbations along one path.
+    max_depth: int = 2
+    #: Max candidate perturbations expanded per path.
+    branch: int = 3
+    #: Extra delay applied by each perturbation, µs.
+    delay_quantum_us: int = 2000
+    #: Per-cell path cap; exceeding it marks the cell truncated (and the
+    #: campaign uncertified).
+    max_paths: int = 400
+    #: Simulated periods per path; 0 auto-sizes so the latest injection
+    #: plus a full recovery budget fits before the run ends.
+    n_periods: int = 0
+    #: Recovery bound to check, µs; None means the prepared budget.
+    R_us: Optional[int] = None
+    #: Definition 3.1 adversary strength multiplier (bound is ``k * R``).
+    k: int = 1
+    #: Sleep-set pruning of commuting deliveries.
+    prune: bool = True
+    #: Explore the fault-free cell too.
+    include_fault_free: bool = True
+    #: Worker processes for the cell fan-out.
+    workers: int = 1
+    #: Seed all fault-behaviour RNG forks derive from.
+    seed: int = 0
+
+
+@dataclass
+class CheckStats:
+    """Wall-clock figures, kept out of the byte-compared report."""
+
+    workers: int = 1
+    pool_fallback: bool = False
+    wall_s: float = 0.0
+    paths: int = 0
+    states_per_sec: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+def injection_ticks(period: int, window: Tuple[float, float],
+                    ticks: int) -> List[int]:
+    """Evenly spaced injection times across the bounded window."""
+    lo = int(window[0] * period)
+    hi = int(window[1] * period)
+    if lo < 0 or hi < lo:
+        raise ValueError(f"bad injection window {window!r}")
+    if ticks <= 1:
+        return [lo]
+    step = (hi - lo) // (ticks - 1)
+    return sorted({lo + i * step for i in range(ticks)})
+
+
+def build_cells(victims: List[str], period: int,
+                params: CheckParams) -> List[Cell]:
+    """The campaign's top-level choice space, in deterministic order."""
+    cells: List[Cell] = []
+    if params.include_fault_free:
+        cells.append(Cell())
+    times = injection_ticks(period, params.window, params.ticks)
+    for victim in sorted(victims):
+        for kind in sorted(params.kinds):
+            for inject_at in times:
+                cells.append(Cell(victim, kind, inject_at))
+    return cells
+
+
+def _explore_one(system, cell: Cell, params: CheckParams,
+                 meta: Optional[dict]) -> dict:
+    """One cell end-to-end: explore, then minimise + replay-confirm the
+    first violating path (if any). Runs identically in-process or in a
+    worker."""
+    report = explore_cell(system, system.strategy, cell, params)
+    payload = report.to_dict()
+    if report.violating:
+        schedule, _ = report.violating[0]
+        minimised, violations = minimise_schedule(
+            system, system.strategy, cell, schedule, params)
+        artifact = counterexample_to_dict(
+            cell, minimised, violations,
+            script=cell_script(cell, params.seed),
+            n_periods=params.n_periods, R_us=params.R_us,
+            k=params.k, seed=params.seed, meta=meta)
+        replayed, _ = replay_counterexample(system, artifact)
+        artifact["replay_confirmed"] = bool(replayed)
+        payload["counterexample"] = artifact
+    return payload
+
+
+# Per-worker campaign context, installed once by the pool initializer.
+_WORKER_CONTEXT: Optional[Tuple] = None
+_WORKER_SYSTEM: Optional[BTRSystem] = None
+
+
+def _init_worker(context: Tuple) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def _cell_task(cell_payload: dict) -> dict:
+    """Explore one cell in a worker; ships back the plain report dict."""
+    global _WORKER_SYSTEM
+    workload, topology, config, params, meta = _WORKER_CONTEXT
+    if _WORKER_SYSTEM is None:
+        system = BTRSystem(workload, topology, config)
+        system.prepare()
+        _WORKER_SYSTEM = system
+    return _explore_one(_WORKER_SYSTEM, Cell.from_dict(cell_payload),
+                        params, meta)
+
+
+def run_campaign(workload, topology, config,
+                 params: Optional[CheckParams] = None,
+                 meta: Optional[dict] = None
+                 ) -> Tuple[dict, CheckStats]:
+    """Run one bounded model-checking campaign.
+
+    Returns ``(report, stats)``: the report is deterministic and
+    byte-comparable across worker counts; the stats carry wall-clock
+    figures (states/sec, pool fallback) for the benchmark layer.
+    """
+    params = params or CheckParams()
+    watch = Stopwatch()
+    # Milestone traces carry every event the invariants and the state
+    # abstraction read, at a fraction of the event volume of full mode.
+    config = replace(config, trace_mode="milestones")
+    system = BTRSystem(workload, topology, config)
+    budget = system.prepare()
+    period = workload.period
+
+    R_us = params.R_us if params.R_us is not None else budget.total_us
+    window_end_us = int(params.window[1] * period)
+    # Auto-size the horizon so the latest injection plus one full
+    # recovery budget (plus a settling period) fits inside the run —
+    # agreement at end-of-run is then meaningful unconditionally.
+    min_periods = math.ceil(
+        (window_end_us + budget.total_us) / period) + 1
+    resolved = replace(params, R_us=R_us,
+                       n_periods=max(params.n_periods, min_periods))
+
+    static = static_mode_findings(system.strategy, topology)
+    cells: List[Cell] = []
+    if not static:
+        cells = build_cells(system.compromisable_nodes(), period,
+                            resolved)
+
+    workers = max(1, resolved.workers)
+    stats = CheckStats(workers=workers)
+    results: Optional[List[dict]] = None
+    if workers > 1 and len(cells) > 1:
+        # The context is pickled *before* any run attaches handler
+        # closures to topology nodes, which keeps it picklable.
+        context = (workload, topology, config, resolved, meta)
+        try:
+            with ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_init_worker,
+                    initargs=(context,)) as pool:
+                results = list(pool.map(
+                    _cell_task, [cell.to_dict() for cell in cells]))
+        except (OSError, ValueError, ImportError):
+            stats.pool_fallback = True
+            results = None
+    if results is None:
+        results = [_explore_one(system, cell, resolved, meta)
+                   for cell in cells]
+
+    totals = {
+        "cells": len(results),
+        "paths": sum(r["paths"] for r in results),
+        "distinct_states": sum(r["distinct"] for r in results),
+        "dedup_hits": sum(r["dedup_hits"] for r in results),
+        "pruned": sum(r["pruned"] for r in results),
+        "violating_paths": sum(len(r["violating"]) for r in results),
+        "truncated_cells": sum(1 for r in results if r["truncated"]),
+    }
+    certified = (not static
+                 and totals["violating_paths"] == 0
+                 and totals["truncated_cells"] == 0)
+    # Worker count is an execution detail (like wall-clock): it lives in
+    # the stats, never in the byte-compared report.
+    params_payload = asdict(resolved)
+    del params_payload["workers"]
+    report = {
+        "version": MC_REPORT_VERSION,
+        "meta": dict(meta or {}),
+        "params": params_payload,
+        "budget_us": budget.total_us,
+        "static_violations": [v.to_dict() for v in static],
+        "cells": results,
+        "totals": totals,
+        "certified": certified,
+    }
+    stats.paths = totals["paths"]
+    stats.wall_s = watch.elapsed_s()
+    if stats.wall_s > 0:
+        stats.states_per_sec = totals["paths"] / stats.wall_s
+    return report, stats

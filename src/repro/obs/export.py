@@ -75,9 +75,58 @@ def export_run(result, path: str,
     return report
 
 
+#: Keys every report carries; absence means a truncated or foreign file.
+_REQUIRED_REPORT_KEYS = ("version", "period_us", "n_periods",
+                         "duration_us", "budget", "faults", "metrics")
+#: Keys every fault entry needs before the renderer may touch it.
+_REQUIRED_FAULT_KEYS = ("node", "fault_kind", "manifest_us", "phases",
+                        "total_us")
+
+
 def load_report(path: str) -> Dict[str, object]:
+    """Load and structurally validate a saved observability report.
+
+    Raises ``ValueError`` (with the offending path and key) on anything
+    that is not a complete report — truncated writes, wrong JSON
+    documents, missing phase tables — so callers like ``repro trace``
+    can print a diagnosis instead of tracebacking mid-render.
+    """
     with open(path, "r", encoding="utf-8") as fh:
-        return json.load(fh)
+        try:
+            report = json.load(fh)
+        except ValueError as exc:
+            raise ValueError(
+                f"{path}: not valid JSON ({exc}) — was the file "
+                f"truncated mid-write?") from None
+    if not isinstance(report, dict):
+        raise ValueError(
+            f"{path}: expected a report object, got "
+            f"{type(report).__name__} — is this a `repro run --obs` "
+            f"report?")
+    missing = [k for k in _REQUIRED_REPORT_KEYS if k not in report]
+    if missing:
+        raise ValueError(
+            f"{path}: report is missing keys: {', '.join(missing)} — "
+            f"is this a `repro run --obs` report?")
+    faults = report["faults"]
+    if not isinstance(faults, list):
+        raise ValueError(f"{path}: 'faults' must be a list, got "
+                         f"{type(faults).__name__}")
+    for i, fault in enumerate(faults):
+        if not isinstance(fault, dict):
+            raise ValueError(f"{path}: faults[{i}] must be an object, "
+                             f"got {type(fault).__name__}")
+        absent = [k for k in _REQUIRED_FAULT_KEYS if k not in fault]
+        if absent:
+            raise ValueError(f"{path}: faults[{i}] is missing keys: "
+                             f"{', '.join(absent)}")
+        phases = fault["phases"]
+        if not isinstance(phases, dict) or \
+                not set(PHASES) <= set(phases):
+            raise ValueError(
+                f"{path}: faults[{i}] has an incomplete phase table "
+                f"(need {', '.join(PHASES)})")
+    return report
 
 
 def _fmt_ms(us: Optional[int]) -> str:

@@ -93,6 +93,15 @@ class Simulator:
         self.rng = DeterministicRandom(seed)
         #: Number of events executed so far (for diagnostics).
         self.events_executed = 0
+        #: Optional message-delivery choice point, consulted by the
+        #: transmit paths (``sim.link`` and the runtime fast path) just
+        #: before a delivery is scheduled: ``hook(sender, receiver,
+        #: arrival) -> arrival``. The bounded model checker
+        #: (:mod:`repro.mc`) installs one to explore alternative delivery
+        #: orderings; ``None`` (the default) costs one attribute read per
+        #: hop. Hooks must return a time >= the proposed arrival — they
+        #: may delay (reorder) deliveries, never accelerate them.
+        self.delivery_hook = None
         self._running = False
         #: Live (non-cancelled) events in the queue; kept exact so
         #: :meth:`pending_events` is O(1) instead of an O(n) scan.
@@ -130,10 +139,22 @@ class Simulator:
         """Fire-and-forget :meth:`call_at` for the fast heap: no
         :class:`EventHandle`, no ``_Event`` — the bare callable rides in
         the heap tuple. Only for events that are never cancelled (message
-        deliveries); requires ``fast_heap`` and a non-past ``time``, both
-        the caller's responsibility (the runtime fast path guarantees
-        them). Ordering is identical to :meth:`call_at` — same (time, seq)
-        key from the same counter."""
+        deliveries); requires ``fast_heap``, the caller's responsibility
+        (the runtime fast path guarantees it). Ordering is identical to
+        :meth:`call_at` — same (time, seq) key from the same counter.
+
+        A past ``time`` is rejected like :meth:`call_at` does: a single
+        integer compare is cheap, and an event silently scheduled in the
+        past would execute out of order, corrupting the deterministic
+        (time, seq) total order every replay proof depends on. The
+        ``engine-schedule-bypass`` lint rule keeps new handler code on
+        :meth:`call_at` regardless, since ``schedule`` still skips
+        cancellation support.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} (now is {self._now})"
+            )
         heapq.heappush(self._queue, (time, next(self._seq), callback))
         self._live += 1
 

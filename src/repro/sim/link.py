@@ -164,6 +164,8 @@ class Link:
         lane.next_free = start + duration
         lane.bits_sent += message.size_bits
         arrival = start + duration + self.propagation_us
+        if sim.delivery_hook is not None:
+            arrival = sim.delivery_hook(sender, receiver, arrival)
 
         lost = (
             self.loss_probability > 0.0

@@ -95,3 +95,87 @@ def test_cli_plan_export(tmp_path, capsys):
     from repro.core.planner import strategy_from_json
     restored = strategy_from_json(out_file.read_text())
     assert len(restored) >= 1
+
+
+# -------------------------------------------------------------------- trace
+
+
+def test_cli_trace_missing_file(tmp_path, capsys):
+    code = main(["trace", str(tmp_path / "nope.json")])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "cannot read report" in err
+
+
+def test_cli_trace_truncated_json(tmp_path, capsys):
+    path = tmp_path / "trunc.json"
+    path.write_text('{"version": 1, "faults": [')
+    code = main(["trace", str(path)])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "truncated" in err
+
+
+def test_cli_trace_structurally_invalid(tmp_path, capsys):
+    path = tmp_path / "bad.json"
+    path.write_text('{"version": 1, "faults": [{"node": "n1"}], '
+                    '"period_us": 1, "n_periods": 1, "duration_us": 1, '
+                    '"budget": null, "metrics": {}}')
+    code = main(["trace", str(path)])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "faults[0]" in err
+
+
+def test_cli_trace_renders_valid_report(tmp_path, capsys):
+    obs = tmp_path / "run.json"
+    code = main(["run", "--workload", "pipeline", "--topology",
+                 "fullmesh:4", "--periods", "12", "--fault", "crash",
+                 "--fault-at", "0.05", "--obs", str(obs)])
+    assert code == 0
+    capsys.readouterr()
+    code, out = run_cli(capsys, "trace", str(obs))
+    assert code == 0
+    assert "Recovery phase breakdown" in out
+
+
+# -------------------------------------------------------------------- check
+
+CHECK_SMOKE = ["check", "--workload", "pipeline", "--topology",
+               "fullmesh:4", "--ticks", "1", "--max-depth", "1",
+               "--branch", "2", "--max-states", "30"]
+
+
+def test_cli_check_certifies(capsys):
+    code, out = run_cli(capsys, *CHECK_SMOKE, "--kinds", "crash")
+    assert code == 0
+    assert "CERTIFIED" in out
+
+
+def test_cli_check_counterexample_and_replay(tmp_path, capsys):
+    cex_dir = tmp_path / "cex"
+    code, out = run_cli(capsys, *CHECK_SMOKE, "--kinds", "commission",
+                        "--R", "0.03", "--cex-dir", str(cex_dir),
+                        "--report", str(tmp_path / "report.json"))
+    assert code == 1
+    assert "NOT CERTIFIED" in out
+    assert "replay-confirmed" in out
+    artifacts = sorted(cex_dir.glob("cex_*.json"))
+    assert artifacts
+    code, out = run_cli(capsys, "check", "--replay", str(artifacts[0]))
+    assert code == 1
+    assert "replay CONFIRMS" in out
+
+
+def test_cli_check_replay_rejects_bad_artifact(tmp_path, capsys):
+    path = tmp_path / "junk.json"
+    path.write_text("[1, 2]")
+    code = main(["check", "--replay", str(path)])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "cannot replay artifact" in err
+
+
+def test_cli_check_rejects_bad_bounds(capsys):
+    code = main(["check", "--ticks", "0"])
+    assert code == 2

@@ -219,3 +219,84 @@ def test_property_random_adversary_respects_k_and_horizon(seed, k):
     assert len(script) == k
     assert len(set(script.faulty_nodes)) == k
     assert all(0 <= i.time <= 50_000 for i in script)
+
+
+# -------------------------------------------- adversary determinism
+
+
+def _script_signature_task(args):
+    """Top-level so ProcessPoolExecutor can pickle it."""
+    adversary_kind, seed = args
+    from repro.faults import (
+        PacingAdversary,
+        RandomAdversary,
+        script_signature,
+    )
+    from repro.sim import DeterministicRandom
+
+    candidates = [f"n{i}" for i in range(6)]
+    if adversary_kind == "random":
+        adv = RandomAdversary(horizon=50_000, k=3)
+    else:
+        adv = PacingAdversary(start=10_000, interval=20_000, k=3)
+    return script_signature(adv.script(candidates,
+                                       DeterministicRandom(seed)))
+
+
+@pytest.mark.parametrize("adversary_kind", ["random", "pacing"])
+def test_adversary_identical_seeds_across_processes(adversary_kind):
+    """Identical seeds yield identical scripts no matter which process
+    builds them — the property the model checker's worker fan-out rests
+    on."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    local = [_script_signature_task((adversary_kind, seed))
+             for seed in (7, 7, 11)]
+    assert local[0] == local[1]
+    if adversary_kind == "random":
+        # Pacing's victims/times are seed-independent by design; only
+        # the random adversary's structure varies with the seed.
+        assert local[0] != local[2]
+    try:
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            remote = list(pool.map(_script_signature_task,
+                                   [(adversary_kind, 7),
+                                    (adversary_kind, 7),
+                                    (adversary_kind, 11)]))
+    except (OSError, ValueError, ImportError):
+        pytest.skip("process pools unavailable in this environment")
+    assert remote == local
+
+
+@pytest.mark.parametrize("make", [
+    lambda: RandomAdversary(horizon=50_000, k=3),
+    lambda: PacingAdversary(start=10_000, interval=20_000, k=2),
+    lambda: SingleFaultAdversary(at=30_000, kind="crash"),
+])
+def test_fault_script_round_trips_through_serialisation(make):
+    from repro.faults import (
+        script_from_dict,
+        script_signature,
+        script_to_dict,
+    )
+
+    candidates = [f"n{i}" for i in range(6)]
+    script = make().script(candidates, DeterministicRandom(9))
+    payload = script_to_dict(script)
+    rebuilt = script_from_dict(payload, seed=9)
+    assert script_signature(rebuilt) == script_signature(script)
+    # Serialisation is stable: a round-tripped script re-serialises to
+    # the same payload.
+    assert script_to_dict(rebuilt) == payload
+
+
+def test_script_from_dict_rejects_bad_payloads():
+    from repro.faults import script_from_dict, script_to_dict
+
+    script = SingleFaultAdversary(at=5_000, kind="crash").script(
+        ["n0"], DeterministicRandom(1))
+    payload = script_to_dict(script)
+    with pytest.raises(ValueError):
+        script_from_dict({**payload, "version": 99})
+    with pytest.raises(ValueError):
+        script_from_dict({"injections": payload["injections"]})

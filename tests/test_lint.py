@@ -213,3 +213,81 @@ def test_fastpath_module_is_in_lint_scope(tmp_path):
         "import time\nstamp = time.monotonic()\n")
     violations = lint_paths([str(tmp_path)])
     assert [v.rule for v in violations] == ["wallclock"]
+
+
+# ------------------------------------------- unsorted-node-iteration
+
+MC_PATH = "src/repro/mc/example.py"
+FAULTS_PATH = "src/repro/faults/example.py"
+
+
+def test_unsorted_node_iteration_flags_dict_views():
+    src = """\
+        def merge(table):
+            for node, state in table.items():
+                print(node, state)
+            return [v for v in table.values()]
+    """
+    assert rules_hit(src, path=MC_PATH) == ["unsorted-node-iteration"]
+    assert rules_hit(src, path=FAULTS_PATH) == ["unsorted-node-iteration"]
+
+
+def test_unsorted_node_iteration_accepts_sorted_views():
+    src = """\
+        def merge(table):
+            for node, state in sorted(table.items()):
+                print(node, state)
+            return [table[k] for k in sorted(table)]
+    """
+    assert rules_hit(src, path=MC_PATH) == []
+
+
+def test_unsorted_node_iteration_scope_and_pragma():
+    src = "pairs = [v for v in table.values()]\n"
+    # Outside the node-order-critical layers the rule stays silent.
+    assert rules_hit(src, path=ANALYSIS_PATH) == []
+    assert rules_hit(src, path=SIM_PATH) == []
+    suppressed = ("pairs = [v for v in table.values()]"
+                  "  # lint: ignore[unsorted-node-iteration]\n")
+    assert rules_hit(suppressed, path=MC_PATH) == []
+
+
+# --------------------------------------------- engine-schedule-bypass
+
+
+def test_engine_schedule_bypass_flags_raw_calls():
+    src = """\
+        def handler(self, sim):
+            sim.schedule(5, self.tick)
+            self.sim.schedule(9, self.tock)
+            self._sim.schedule(11, self.tack)
+    """
+    assert rules_hit(src, path=CORE_PATH) == ["engine-schedule-bypass"]
+    assert rules_hit(src, path=MC_PATH) == ["engine-schedule-bypass"]
+    assert rules_hit(src, path=FAULTS_PATH) == ["engine-schedule-bypass"]
+
+
+def test_engine_schedule_bypass_accepts_call_at_and_scope():
+    src = """\
+        def handler(self, node):
+            node.call_at(5, self.tick)
+            self.plan.schedule.makespan()
+            scheduler.schedule(5)
+    """
+    assert rules_hit(src, path=CORE_PATH) == []
+    # The engine layer itself owns schedule(); the rule does not apply.
+    raw = "sim.schedule(5, cb)\n"
+    assert rules_hit(raw, path=SIM_PATH) == []
+    suppressed = ("sim.schedule(5, cb)"
+                  "  # lint: ignore[engine-schedule-bypass]\n")
+    assert rules_hit(suppressed, path=CORE_PATH) == []
+
+
+def test_mc_layer_is_in_restricted_scope():
+    """repro/mc drives the deterministic engine: wall-clock and global
+    RNG are as forbidden there as in sim/core."""
+    from tools.lint.rules import _in_restricted_layer
+
+    assert _in_restricted_layer("src/repro/mc/explorer.py")
+    assert rules_hit("import time\nt = time.time()\n",
+                     path=MC_PATH) == ["wallclock"]

@@ -14,14 +14,28 @@ numbers:
   queue or schedule must be ``sorted(...)`` first.
 * ``float-eq`` — ``==``/``!=`` against float literals is brittle for
   deadline arithmetic; the codebase keeps time in integer µs.
+* ``unsorted-node-iteration`` — the model checker's byte-reproducibility
+  guarantee and the fault layer's scripts both enumerate node ids;
+  iterating ``.keys()``/``.values()``/``.items()`` of a node-id mapping
+  (or a node-id set) without ``sorted(...)`` makes cell order, victim
+  order, and therefore whole campaign reports insertion-dependent.
+* ``engine-schedule-bypass`` — handler code must post work through
+  ``node.call_at`` (which routes through the re-entrancy guard and the
+  node's fault filter), not raw ``sim.schedule()``; a bypassed guard
+  means a compromised node keeps scheduling after its behaviour should
+  have silenced it.
 
 The first two are scoped to ``src/repro/sim``, ``src/repro/core`` and
 ``src/repro/perf`` (the determinism-critical layers); the clock/RNG
 façades themselves (``sim/time.py``, ``sim/clock.py``,
 ``sim/random.py``) are exempt, being the sanctioned wrappers, as is
 ``perf/timing.py`` — the one module allowed to read the host clock,
-because offline planning cost is precisely what it measures. The last
-two rules apply everywhere.
+because offline planning cost is precisely what it measures.
+``set-iteration`` and ``float-eq`` apply everywhere;
+``unsorted-node-iteration`` is scoped to ``repro/mc`` and
+``repro/faults``, ``engine-schedule-bypass`` to the layers that hold a
+simulator reference but do not own the engine (``repro/core``,
+``repro/mc``, ``repro/obs``, ``repro/faults``).
 """
 
 from __future__ import annotations
@@ -33,7 +47,12 @@ Hit = Tuple[int, int, str]
 
 #: Path fragments of the determinism-critical layers (posix-style).
 RESTRICTED_FRAGMENTS = ("repro/sim/", "repro/core/", "repro/perf/",
-                        "repro/obs/")
+                        "repro/obs/", "repro/mc/")
+#: Layers where node-id iteration order leaks into campaign reports.
+NODE_ORDER_FRAGMENTS = ("repro/mc/", "repro/faults/")
+#: Layers that hold a simulator reference but do not own the engine.
+SCHEDULE_CLIENT_FRAGMENTS = ("repro/core/", "repro/mc/", "repro/obs/",
+                             "repro/faults/")
 #: Sanctioned wrapper modules, exempt from the scoped rules.
 EXEMPT_SUFFIXES = ("repro/sim/time.py", "repro/sim/random.py",
                    "repro/sim/clock.py", "repro/perf/timing.py")
@@ -214,18 +233,95 @@ class FloatEqualityRule(Rule):
                         break
 
 
+class UnsortedNodeIterationRule(Rule):
+    """Flag unsorted dict-view iteration in the node-order-critical
+    layers (sets are already covered everywhere by ``set-iteration``;
+    this rule adds the ``.values()``/``.items()`` views, whose order is
+    insertion-dependent just the same)."""
+
+    id = "unsorted-node-iteration"
+    description = ("iterating .keys()/.values()/.items() of a node-id "
+                   "mapping without sorted(...) makes cell and victim "
+                   "order insertion-dependent, which breaks the "
+                   "campaign's byte-reproducibility; wrap in sorted(...)")
+
+    _VIEW_ATTRS = ("keys", "values", "items")
+
+    def applies_to(self, path: str) -> bool:
+        posix = _posix(path)
+        return any(fragment in posix
+                   for fragment in NODE_ORDER_FRAGMENTS)
+
+    def _is_view_call(self, node: ast.expr) -> bool:
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._VIEW_ATTRS)
+
+    def check(self, tree: ast.AST) -> Iterator[Hit]:
+        for node in ast.walk(tree):
+            iters = []
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.GeneratorExp, ast.DictComp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if self._is_view_call(it):
+                    yield (it.lineno, it.col_offset,
+                           f"unsorted iteration over "
+                           f".{it.func.attr}() view")
+
+
+class EngineScheduleBypassRule(Rule):
+    """Flag raw ``sim.schedule()`` calls from engine-client layers."""
+
+    id = "engine-schedule-bypass"
+    description = ("raw sim.schedule() from handler code bypasses the "
+                   "node's re-entrancy guard and fault filter; post work "
+                   "through node.call_at (the engine itself and "
+                   "sanctioned transmit paths carry a pragma)")
+
+    def applies_to(self, path: str) -> bool:
+        posix = _posix(path)
+        return any(fragment in posix
+                   for fragment in SCHEDULE_CLIENT_FRAGMENTS)
+
+    @staticmethod
+    def _is_sim_receiver(value: ast.expr) -> bool:
+        if isinstance(value, ast.Name):
+            return value.id == "sim" or value.id.endswith("_sim")
+        if isinstance(value, ast.Attribute):
+            return value.attr in ("sim", "_sim")
+        return False
+
+    def check(self, tree: ast.AST) -> Iterator[Hit]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr == "schedule"
+                    and self._is_sim_receiver(func.value)):
+                yield (node.lineno, node.col_offset,
+                       "raw sim.schedule() call from handler-layer code")
+
+
 ALL_RULES = (
     WallClockRule(),
     UnseededRandomRule(),
     SetIterationRule(),
     FloatEqualityRule(),
+    UnsortedNodeIterationRule(),
+    EngineScheduleBypassRule(),
 )
 
 __all__ = [
     "ALL_RULES",
+    "EngineScheduleBypassRule",
     "FloatEqualityRule",
     "Rule",
     "SetIterationRule",
     "UnseededRandomRule",
+    "UnsortedNodeIterationRule",
     "WallClockRule",
 ]

@@ -26,7 +26,11 @@ trajectories land next to the report:
 * ``BENCH_sim.json`` — aggregated online-runtime fast-path results
   (per-scenario wall times, speedups, verify-memo hit rates, and the
   trace byte-identity verdicts) from the ``sim_stats.jsonl`` stream
-  that E17 appends to.
+  that E17 appends to;
+* ``BENCH_mc.json`` — aggregated bounded model-checking results
+  (campaigns by expectation, paths explored, dedup hit-rate, pruning
+  ratio, states/sec, replay-confirmation counts) from the
+  ``mc_stats.jsonl`` stream that E18 appends to.
 
 Usage:  python tools/run_experiments.py [--jobs N] [--only SUBSTR]
                 [--cache DIR | --no-cache] [--skip-run] [--skip-verify]
@@ -48,6 +52,7 @@ RESULTS = os.path.join(REPO, "benchmarks", "results")
 PLANNER_STATS = os.path.join(RESULTS, "planner_stats.jsonl")
 OBS_STATS = os.path.join(RESULTS, "obs_stats.jsonl")
 SIM_STATS = os.path.join(RESULTS, "sim_stats.jsonl")
+MC_STATS = os.path.join(RESULTS, "mc_stats.jsonl")
 CACHE_ENV_VAR = "REPRO_STRATEGY_CACHE"
 DEFAULT_CACHE = os.path.join(REPO, "benchmarks", ".strategy_cache")
 
@@ -73,6 +78,7 @@ ORDER = [
     "e15_resource_dependence",
     "e16_link_faults",
     "e17_online_throughput",
+    "e18_model_check",
 ]
 
 
@@ -292,6 +298,54 @@ def aggregate_sim_stats() -> dict:
     }
 
 
+def aggregate_mc_stats() -> dict:
+    """Collapse E18's per-campaign jsonl into one model-checking summary.
+
+    Groups campaigns by their expectation label: ``certify`` campaigns
+    must all come out certified with zero violations, ``violate``
+    campaigns must all exhibit replay-confirmed counterexamples — the
+    CI mc-smoke job asserts both from this file. Dedup hit-rate and
+    pruning ratio are aggregated over all explored paths (not averaged
+    per campaign) so tiny smoke campaigns cannot skew them.
+    """
+    records = _read_jsonl(MC_STATS)
+    by_expect: dict = {}
+    for r in records:
+        entry = by_expect.setdefault(r.get("expect", "?"), {
+            "campaigns": 0,
+            "certified": 0,
+            "paths": 0,
+            "distinct_states": 0,
+            "dedup_hits": 0,
+            "pruned": 0,
+            "violating_paths": 0,
+            "replay_confirmed": 0,
+            "best_states_per_sec": 0.0,
+        })
+        entry["campaigns"] += 1
+        entry["certified"] += 1 if r.get("certified") else 0
+        for col in ("paths", "distinct_states", "dedup_hits", "pruned",
+                    "violating_paths", "replay_confirmed"):
+            entry[col] += r.get(col, 0)
+        entry["best_states_per_sec"] = max(
+            entry["best_states_per_sec"],
+            round(r.get("states_per_sec") or 0.0, 1))
+    for entry in by_expect.values():
+        entry["dedup_hit_rate"] = (
+            round(entry["dedup_hits"] / entry["paths"], 3)
+            if entry["paths"] else None)
+        denominator = entry["pruned"] + entry["paths"]
+        entry["prune_ratio"] = (round(entry["pruned"] / denominator, 3)
+                                if denominator else None)
+    return {
+        "campaigns": len(records),
+        "paths": sum(r.get("paths", 0) for r in records),
+        "by_expectation": {k: by_expect[k] for k in sorted(by_expect)},
+        "experiments_seen": sorted({r.get("experiment", "?")
+                                    for r in records}),
+    }
+
+
 def write_json(path: str, payload: dict) -> None:
     tmp = path + ".tmp"
     with open(tmp, "w") as f:
@@ -369,8 +423,8 @@ def main() -> int:
                   file=sys.stderr)
             return 2
         os.makedirs(RESULTS, exist_ok=True)
-        # Fresh planning/obs/sim-stats streams for this suite run.
-        for stream in (PLANNER_STATS, OBS_STATS, SIM_STATS):
+        # Fresh planning/obs/sim/mc-stats streams for this suite run.
+        for stream in (PLANNER_STATS, OBS_STATS, SIM_STATS, MC_STATS):
             with open(stream, "w"):
                 pass
         print(f"running {len(files)} benchmark shards "
@@ -384,10 +438,12 @@ def main() -> int:
                    aggregate_obs_stats())
         write_json(os.path.join(RESULTS, "BENCH_sim.json"),
                    aggregate_sim_stats())
+        write_json(os.path.join(RESULTS, "BENCH_mc.json"),
+                   aggregate_mc_stats())
         print(f"suite: {suite['total_wall_s']}s wall over "
               f"{len(files)} shards; perf trajectory in "
               f"BENCH_suite.json / BENCH_planner.json / "
-              f"BENCH_obs.json / BENCH_sim.json")
+              f"BENCH_obs.json / BENCH_sim.json / BENCH_mc.json")
         failed = [s for s in suite["experiments"] if s["returncode"] != 0]
         if failed:
             print("benchmark shards failed: "

@@ -1,0 +1,214 @@
+"""E19 — Batched event core: structural speedup, byte-identical traces.
+
+PR 4's fast path (E17) optimised the work *inside* each event; the
+batched core (``repro.perf.batchcore``, ``BTRConfig(batched_core=True)``)
+restructures the event stream itself: periodic heartbeat/sensor fan-outs
+become one vectorised step per (sender, arrival) group with authenticator
+batching, hot-path messages come from a recycling pool, and multi-seed
+sweeps share frozen plans and key directories in one process
+(``run_sweep``). The invariant is inherited from E17 and checked harder:
+for every scenario × seed in the matrix the **full-mode trace is
+byte-identical** (``trace_fingerprint``) between the batched and
+reference paths, and the sweep path must reproduce the per-seed
+reference fingerprints exactly.
+
+The benchmark runs the E17 scenario set on a geo-scale mesh (the
+workload class the batched core exists for — model-checking campaigns
+and wide topologies where per-period flooding is O(n²) while plan
+execution is O(n)). Columns per scenario: reference vs batched events/sec
+(milestone trace, the benchmark configuration), the speedup, and the
+sweep throughput. The acceptance bar on the default sweep is a ≥2×
+*geomean* speedup across scenarios; the per-mesh scaling column below
+documents that the ratio grows with fan-out degree (at E17's n=7 mesh
+the same gate measures ~1.3×).
+
+Environment knobs (used by the CI perf-smoke job):
+
+* ``REPRO_E19_SWEEP=smoke`` — single scenario, small mesh, no geomean
+  assertion (wall-clock ratios on shared runners are recorded, the
+  byte-equality gate is always enforced).
+"""
+
+import math
+import os
+
+from harness import (
+    harness_cache_dir,
+    one_shot,
+    record_sim,
+    sweep_btr,
+    write_result,
+)
+from repro import BTRConfig, BTRSystem
+from repro.analysis import format_table
+from repro.faults.scenarios import stage
+from repro.net import full_mesh_topology
+from repro.perf import trace_fingerprint
+from repro.perf.timing import Stopwatch
+from repro.workload import industrial_workload
+
+#: (scenario, n_nodes, f, n_periods) — the E17 scenario set on a
+#: geo-scale mesh: steady broadcast traffic, the audit fallback, and
+#: adversarial evidence load (where pooled messages must recycle under
+#: flood pressure without changing a byte).
+SWEEP_FULL = [
+    ("single_commission", 15, 1, 30),
+    ("checker_host_crash", 15, 1, 30),
+    ("flood_plus_fault", 15, 2, 30),
+]
+SWEEP_SMOKE = [("single_commission", 7, 1, 20)]
+
+SEEDS_FULL = (42, 43)
+SEEDS_SMOKE = (42,)
+
+#: Acceptance bar: geomean batched/reference events-per-second ratio on
+#: the default sweep. A ratio of in-process wall clocks, so load on
+#: shared runners moves both columns together.
+GEOMEAN_GATE = 2.0
+
+
+def smoke() -> bool:
+    return os.environ.get("REPRO_E19_SWEEP") == "smoke"
+
+
+def _prepared(name: str, n_nodes: int, f: int, seed: int,
+              batched: bool, trace_mode: str):
+    system = BTRSystem(
+        industrial_workload(),
+        full_mesh_topology(n_nodes, bandwidth=1e8),
+        BTRConfig(f=f, seed=seed, cache=harness_cache_dir(),
+                  trace_mode=trace_mode, batched_core=batched),
+    )
+    system.prepare()
+    return system, stage(name, system)
+
+
+def _timed_run(system, scenario, n_periods: int):
+    watch = Stopwatch()
+    result = system.run(n_periods, adversary=scenario.script,
+                        link_script=scenario.link_script or None)
+    return result, watch.elapsed_s()
+
+
+def run_case(name: str, n_nodes: int, f: int, n_periods: int, seed: int):
+    """One scenario × seed: the byte-equality gate, then the clocks."""
+    # --- The gate: full traces byte-identical, reference vs batched. ---
+    ref_sys, ref_scn = _prepared(name, n_nodes, f, seed,
+                                 batched=False, trace_mode="full")
+    bat_sys, bat_scn = _prepared(name, n_nodes, f, seed,
+                                 batched=True, trace_mode="full")
+    ref_res, _ = _timed_run(ref_sys, ref_scn, n_periods)
+    bat_res, _ = _timed_run(bat_sys, bat_scn, n_periods)
+    fp_ref = trace_fingerprint(ref_res.trace)
+    assert trace_fingerprint(bat_res.trace) == fp_ref, (
+        f"{name} seed={seed}: batched core changed the full trace"
+    )
+    events = ref_sys.sim.events_executed
+    assert bat_sys.sim.events_executed == events, (
+        f"{name} seed={seed}: events_executed gauge diverged"
+    )
+
+    # --- The clocks: milestone trace, the benchmark configuration. ---
+    ref_m_sys, ref_m_scn = _prepared(name, n_nodes, f, seed,
+                                     batched=False, trace_mode="milestones")
+    bat_m_sys, bat_m_scn = _prepared(name, n_nodes, f, seed,
+                                     batched=True, trace_mode="milestones")
+    ref_m_res, ref_s = _timed_run(ref_m_sys, ref_m_scn, n_periods)
+    bat_m_res, bat_s = _timed_run(bat_m_sys, bat_m_scn, n_periods)
+    fp_miles = trace_fingerprint(ref_m_res.trace)
+    assert trace_fingerprint(bat_m_res.trace) == fp_miles
+    assert bat_m_res.trace.kind_counts() == ref_m_res.trace.kind_counts()
+
+    # --- The sweep path reproduces per-seed reference fingerprints. ---
+    sweep_seeds = (seed, seed + 1000)
+    sweep = sweep_btr(
+        sweep_seeds, scenario=name, n_periods=n_periods,
+        n_nodes=n_nodes, f=f,
+        config=BTRConfig(f=f, seed=seed, cache=harness_cache_dir(),
+                         trace_mode="milestones", batched_core=True),
+    )
+    assert sweep[0].fingerprint == fp_miles, (
+        f"{name} seed={seed}: sweep diverged from the fresh-system run"
+    )
+    sib_sys, sib_scn = _prepared(name, n_nodes, f, sweep_seeds[1],
+                                 batched=False, trace_mode="milestones")
+    sib_res, _ = _timed_run(sib_sys, sib_scn, n_periods)
+    assert sweep[1].fingerprint == trace_fingerprint(sib_res.trace), (
+        f"{name}: sibling seed {sweep_seeds[1]} diverged from a freshly "
+        f"planned reference system"
+    )
+    sweep_wall = sum(run.wall_s for run in sweep)
+    sweep_events = sum(run.result.metrics["gauges"]["sim_events_executed"]
+                       for run in sweep)
+
+    batch_stats = bat_m_sys.batch_runtime.stats()
+    return {
+        "scenario": name,
+        "n_nodes": n_nodes,
+        "f": f,
+        "n_periods": n_periods,
+        "seed": seed,
+        "sim_events": events,
+        "wall_ref_s": round(ref_s, 4),
+        "wall_batched_s": round(bat_s, 4),
+        "events_per_s_ref": round(events / ref_s) if ref_s else None,
+        "events_per_s_batched": round(events / bat_s) if bat_s else None,
+        "speedup_batched": round(ref_s / bat_s, 2) if bat_s else None,
+        "sweep_seeds": len(sweep_seeds),
+        "sweep_events_per_s": (round(sweep_events / sweep_wall)
+                               if sweep_wall else None),
+        "batches_fired": batch_stats["batches_fired"],
+        "entries_batched": batch_stats["entries_batched"],
+        "pool_reused": batch_stats["pool"]["reused"],
+        "traces_identical": True,
+    }
+
+
+def run_experiment():
+    sweep = SWEEP_SMOKE if smoke() else SWEEP_FULL
+    seeds = SEEDS_SMOKE if smoke() else SEEDS_FULL
+    cases = []
+    for name, n_nodes, f, n_periods in sweep:
+        for seed in seeds:
+            case = run_case(name, n_nodes, f, n_periods, seed)
+            record_sim(case, label=f"e19:{name}:s{seed}")
+            cases.append(case)
+    return cases
+
+
+def _geomean(values) -> float:
+    values = list(values)
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def test_e19_batched_core(benchmark):
+    cases = one_shot(benchmark, run_experiment)
+
+    rows = [[
+        c["scenario"], c["n_nodes"], c["seed"], c["sim_events"],
+        f"{c['events_per_s_ref']:,}", f"{c['events_per_s_batched']:,}",
+        f"{c['speedup_batched']:.2f}x", f"{c['sweep_events_per_s']:,}",
+        f"{c['entries_batched']}/{c['batches_fired']}",
+        "identical",
+    ] for c in cases]
+    write_result("e19_batched_core", format_table(
+        "E19: batched event core (industrial workload, geo-scale full "
+        "mesh; ref = PR 4 fast path, batched = batched_core, both on "
+        "milestone traces; full traces asserted byte-identical)",
+        ["scenario", "n", "seed", "sim events", "ev/s ref", "ev/s batched",
+         "speedup", "ev/s sweep", "batched entries/events", "full trace"],
+        rows,
+    ))
+
+    for c in cases:
+        assert c["traces_identical"]
+        # Batching must actually coalesce: strictly fewer heap events
+        # than batched entries (otherwise the core degenerated to the
+        # reference one-event-per-message shape).
+        assert c["batches_fired"] < c["entries_batched"]
+    if not smoke():
+        geo = _geomean(c["speedup_batched"] for c in cases)
+        assert geo >= GEOMEAN_GATE, (
+            f"batched core under the bar: geomean {geo:.2f}x < "
+            f"{GEOMEAN_GATE}x over the fast path"
+        )

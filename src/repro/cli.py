@@ -151,6 +151,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the online verify memo (the fast "
                             "path is behaviour-preserving; this exists "
                             "for benchmarking and bisection)")
+        p.add_argument("--batched", action="store_true",
+                       help="enable the batched event core (vectorised "
+                            "periodic traffic + message pools; "
+                            "behaviour-preserving, requires the fast "
+                            "path — see docs/PERFORMANCE.md)")
         p.add_argument("--trace-mode", choices=list(TRACE_MODES),
                        default="full",
                        help="trace recording fidelity: full keeps every "
@@ -263,10 +268,14 @@ def config_from_args(args) -> BTRConfig:
         else:
             from .perf import default_cache_dir
             cache = default_cache_dir()
+    if args.batched and args.no_fastpath:
+        raise SystemExit("--batched requires the fast path "
+                         "(drop --no-fastpath)")
     return BTRConfig(f=args.f, seed=args.seed, planner_jobs=args.jobs,
                      cache=cache, symmetry_memo=args.memo,
                      runtime_fastpath=not args.no_fastpath,
-                     trace_mode=args.trace_mode)
+                     trace_mode=args.trace_mode,
+                     batched_core=args.batched)
 
 
 def cmd_plan(args) -> int:

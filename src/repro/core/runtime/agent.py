@@ -86,6 +86,11 @@ class NodeAgent:
         #: mid-run, so the fast path computes it once per agent instead
         #: of re-sorting the adjacency on every broadcast/heartbeat.
         self._neighbors = tuple(system.topology.neighbors(self.node_id))
+        #: The batched event core's per-run state (None unless
+        #: ``config.batched_core``): fan-outs route through its
+        #: vectorised emitters, per-period timers coalesce, and hot-path
+        #: messages come from its pool. Behaviour preserving (E19).
+        self._batched = system.batch_runtime
         self.behavior: FaultBehavior = FaultBehavior()
         self.switcher = ModeSwitcher(
             system.strategy, system.workload.period, system.switch_lead_us,
@@ -191,6 +196,22 @@ class NodeAgent:
                 continue
             self._expected.append((flow.name, naming.base_flow(flow.name),
                                    arrival))
+        # Arrival-grouped view for the batched core: the omission wait is
+        # a constant, so expectations sharing a planned arrival share a
+        # check time and coalesce into one heap event per period. Group
+        # order and within-group order follow self._expected, preserving
+        # the reference execution order (consecutive-seq argument, see
+        # _exec_groups).
+        groups = []
+        by_arrival = {}
+        for flow_copy, _base, arrival in self._expected:
+            bucket = by_arrival.get(arrival)
+            if bucket is None:
+                bucket = []
+                by_arrival[arrival] = bucket
+                groups.append((arrival, bucket))
+            bucket.append(flow_copy)
+        self._expected_groups = groups
 
     # ------------------------------------------------------- fault injection
 
@@ -209,14 +230,18 @@ class NodeAgent:
             return
         period_start = k * self.period
         self._emit_sources(k)
-        for instance in self.plan.instances_on(self.node_id):
-            slot = self.plan.schedule.slot_for(instance)
-            if slot is None or instance in self.pending_state:
-                continue
-            self.sim.call_at(
-                period_start + slot.finish,
-                lambda inst=instance, kk=k: self._execute_instance(inst, kk),
-            )
+        if self._batched is not None:
+            self._schedule_exec_groups(k, period_start)
+        else:
+            for instance in self.plan.instances_on(self.node_id):
+                slot = self.plan.schedule.slot_for(instance)
+                if slot is None or instance in self.pending_state:
+                    continue
+                self.sim.call_at(
+                    period_start + slot.finish,
+                    lambda inst=instance, kk=k:
+                        self._execute_instance(inst, kk),
+                )
         self._schedule_omission_checks(k)
         self._schedule_sink_audits(k)
         self._emit_heartbeat(k)
@@ -239,6 +264,9 @@ class NodeAgent:
         # so any other order would reshuffle lane queueing and break the
         # timetable (a small reading queued behind a large one misses its
         # consumer's slot).
+        if self._batched is not None:
+            self._emit_sources_batched(hosted, k)
+            return
         for flow in self.plan.augmented.flows:
             if flow.src not in hosted:
                 continue
@@ -246,6 +274,40 @@ class NodeAgent:
             base = naming.base_flow(flow.name)
             stmt = self._signed_forward(base, k, value, planned_offset=0)
             self._send_copy(flow.name, stmt, k)
+
+    def _emit_sources_batched(self, hosted, k: int) -> None:
+        """Batched-core source emission: build every frame's payload in
+        flow order, sign the uncached ones in one authenticator pass
+        (:meth:`AuthenticatedStatement.make_batch` — bit-identical tags,
+        same ``signs`` count as the per-miss reference), then send the
+        copies in the same flow order. Signing schedules nothing, so the
+        two-pass split is trace-identical to sign-then-send per flow."""
+        emissions = []
+        pending_keys = []
+        pending_payloads = []
+        cache = self._sign_cache
+        for flow in self.plan.augmented.flows:
+            if flow.src not in hosted:
+                continue
+            value = sensor_reading(flow.src, k)
+            base = naming.base_flow(flow.name)
+            payload = build_forward_statement(
+                flow=base, period=k, value=value,
+                send_offset=self.behavior.claimed_send_offset(
+                    self._local_offset(k), 0),
+            )
+            key = (base, k, payload.get("value"))
+            emissions.append((flow.name, key))
+            if key not in cache and key not in pending_keys:
+                pending_keys.append(key)
+                pending_payloads.append(payload)
+        if pending_payloads:
+            signed = AuthenticatedStatement.make_batch(
+                self.system.directory, self.node_id, pending_payloads)
+            for key, stmt in zip(pending_keys, signed):
+                cache[key] = stmt
+        for flow_copy, key in emissions:
+            self._send_copy(flow_copy, cache[key], k)
 
     # ------------------------------------------------------------- execution
 
@@ -268,6 +330,65 @@ class NodeAgent:
             self._run_checker(instance, base, k)
         else:
             self._run_replica(instance, base, k)
+
+    def _exec_groups(self):
+        """Static ``(finish, [instances])`` groups for this node under
+        the current plan, in the reference emission order. Grouping
+        equal finish times is order-preserving: the reference loop's
+        schedules carry consecutive sequence numbers (no foreign
+        schedule interleaves the loop), so members at one finish time
+        fire back-to-back in emission order either way, and members at
+        different times are ordered by time regardless of seq. Memoised
+        on the plan object like the other plan-riding memos."""
+        memo = self.plan.__dict__.get("_exec_groups")
+        if memo is None:
+            memo = {}
+            self.plan.__dict__["_exec_groups"] = memo
+        groups = memo.get(self.node_id)
+        if groups is None:
+            groups = []
+            by_finish = {}
+            for instance in self.plan.instances_on(self.node_id):
+                slot = self.plan.schedule.slot_for(instance)
+                if slot is None:
+                    continue
+                bucket = by_finish.get(slot.finish)
+                if bucket is None:
+                    bucket = []
+                    by_finish[slot.finish] = bucket
+                    groups.append((slot.finish, bucket))
+                bucket.append(instance)
+            memo[self.node_id] = groups
+        return groups
+
+    def _schedule_exec_groups(self, k: int, period_start: int) -> None:
+        """Batched-core variant of the per-instance execution timers:
+        one heap event per distinct slot finish time."""
+        pending = self.pending_state
+        for finish, instances in self._exec_groups():
+            if pending:
+                live = [i for i in instances if i not in pending]
+                if not live:
+                    continue
+            else:
+                live = instances
+            if len(live) == 1:
+                self.sim.call_at(
+                    period_start + finish,
+                    lambda inst=live[0], kk=k:
+                        self._execute_instance(inst, kk))
+            else:
+                self.sim.call_at(
+                    period_start + finish,
+                    lambda insts=live, kk=k:
+                        self._execute_group(insts, kk))
+
+    def _execute_group(self, instances, k: int) -> None:
+        # One heap pop stands for len(instances) scheduled executions;
+        # keep the events-executed gauge identical to the reference.
+        self.sim.events_executed += len(instances) - 1
+        for instance in instances:
+            self._execute_instance(instance, k)
 
     # -- replica ----------------------------------------------------------
 
@@ -636,11 +757,21 @@ class NodeAgent:
                 return
         if self.behavior.drops_message(flow_copy, k, final):
             return
-        message = Message(
-            src=self.node_id, dst=final, kind=MessageKind.DATA,
-            payload=("data", flow_copy, k, stmt), size_bits=flow.size_bits,
-            flow=flow_copy,
-        )
+        if self._batched is not None and final != self.node_id:
+            # Pooled on the transmit path: the fast delivery/drop paths
+            # release the message once its journey ends. Local deliveries
+            # keep a plain Message (nothing releases them).
+            message = self._batched.pool.acquire(
+                self.node_id, final, MessageKind.DATA,
+                ("data", flow_copy, k, stmt), flow.size_bits,
+                flow=flow_copy,
+            )
+        else:
+            message = Message(
+                src=self.node_id, dst=final, kind=MessageKind.DATA,
+                payload=("data", flow_copy, k, stmt),
+                size_bits=flow.size_bits, flow=flow_copy,
+            )
         delay = self.behavior.delay_send(flow_copy, k)
         if final == self.node_id:
             self.sim.call_after(max(1, delay),
@@ -782,11 +913,30 @@ class NodeAgent:
         period_start = k * self.period
         wait = (self.config.timing.arrival_slack_us
                 + self.config.omission_grace_us)
+        if self._batched is not None:
+            for arrival, copies in self._expected_groups:
+                if len(copies) == 1:
+                    self.sim.call_at(
+                        period_start + arrival + wait,
+                        lambda c=copies[0], kk=k:
+                            self._check_arrival(c, kk))
+                else:
+                    self.sim.call_at(
+                        period_start + arrival + wait,
+                        lambda cs=copies, kk=k:
+                            self._check_arrival_group(cs, kk))
+            return
         for flow_copy, _base, arrival in self._expected:
             self.sim.call_at(
                 period_start + arrival + wait,
                 lambda c=flow_copy, kk=k: self._check_arrival(c, kk),
             )
+
+    def _check_arrival_group(self, copies, k: int) -> None:
+        # One heap pop stands for len(copies) scheduled checks.
+        self.sim.events_executed += len(copies) - 1
+        for flow_copy in copies:
+            self._check_arrival(flow_copy, k)
 
     def _check_arrival(self, flow_copy: str, k: int) -> None:
         if self.node.crashed or (flow_copy, k) in self.inbox:
@@ -1013,6 +1163,10 @@ class NodeAgent:
         # record is signed and immutable, so receivers can safely alias
         # it, and N neighbours cost one tuple build instead of N.
         envelope = payload + (endorsement,)
+        if self._batched is not None:
+            self._batched.flood_messages(self, MessageKind.EVIDENCE,
+                                         envelope, bits, exclude)
+            return
         neighbors = (self._neighbors if self._fastpath
                      else self.system.topology.neighbors(self.node_id))
         for neighbor in neighbors:
@@ -1029,12 +1183,16 @@ class NodeAgent:
         if not isinstance(payload, tuple) or len(payload) != 3:
             return  # unendorsed records cost nothing: dropped outright
         tag, record, endorsement = payload
+        # Hoisted: the deferred verification callbacks below must not
+        # capture the message object — pooled messages (batched core) are
+        # recycled as soon as delivery dispatch returns.
+        src = message.src
         # §4.3: nodes endorse what they distribute. The endorsement must
         # be by the forwarding hop itself; anything else is dropped before
         # any processing. (Whether the signature is *valid* is checked on
         # the control lane with the rest of the verification work.)
         if (not isinstance(endorsement, Signature)
-                or endorsement.signer != message.src):
+                or endorsement.signer != src):
             return
         # Quota *before* the dedup mark: a record dropped for quota must
         # not be remembered as seen, or the copies arriving from other
@@ -1043,7 +1201,7 @@ class NodeAgent:
         # silently splits the fault sets. Senders dedup before forwarding,
         # so each sender charges each record to its bucket at most once.
         if tag == "evidence" and isinstance(record, Evidence):
-            if not self._take_ctrl_quota(message.src, tag):
+            if not self._take_ctrl_quota(src, tag):
                 return
             if not self.log.note_evidence(record):
                 return
@@ -1051,18 +1209,18 @@ class NodeAgent:
             self.node.execute(
                 self.sim, cost,
                 callback=lambda: self._handle_evidence(
-                    record, message.src, endorsement=endorsement),
+                    record, src, endorsement=endorsement),
                 lane="ctrl",
             )
         elif tag == "declaration" and isinstance(record,
                                                  AuthenticatedStatement):
-            if not self._take_ctrl_quota(message.src, tag):
+            if not self._take_ctrl_quota(src, tag):
                 return
             if not self.log.note_declaration(record):
                 return
             self.node.execute(
                 self.sim, self.config.crypto.verify_us,
-                callback=lambda: self._handle_declaration(record, message.src),
+                callback=lambda: self._handle_declaration(record, src),
                 lane="ctrl",
             )
 
@@ -1144,6 +1302,11 @@ class NodeAgent:
         if origin != self.node_id:
             self._last_heartbeat[origin] = self.sim.now
         if self.node.crashed:
+            return
+        if self._batched is not None:
+            # Vectorised fan-out: one heap event per distinct arrival
+            # time, no Message objects for standard receivers.
+            self._batched.flood_heartbeat(self, origin, k, exclude)
             return
         neighbors = (self._neighbors if self._fastpath
                      else self.system.topology.neighbors(self.node_id))

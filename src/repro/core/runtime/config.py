@@ -99,6 +99,14 @@ class BTRConfig:
     #: only recovery-relevant kinds and tallies per-hop traffic;
     #: "counts-only" tallies everything (see :mod:`repro.sim.trace`).
     trace_mode: str = "full"
+    #: The batched event core (:mod:`repro.perf.batchcore`): periodic
+    #: traffic (heartbeat/evidence fan-outs) is emitted as one vectorised
+    #: heap event per (sender, arrival) group, hot-path messages come from
+    #: a recycling pool, and per-period timers are coalesced per plan
+    #: phase. Behaviour preserving: full-mode traces are byte-identical
+    #: with the batched core on and off (E19 asserts this). Requires
+    #: ``runtime_fastpath`` — batching builds on the fast transmit path.
+    batched_core: bool = False
 
     def __post_init__(self) -> None:
         if self.f < 1:
@@ -115,4 +123,9 @@ class BTRConfig:
             raise ValueError(
                 f"trace_mode must be one of {TRACE_MODES}, "
                 f"got {self.trace_mode!r}"
+            )
+        if self.batched_core and not self.runtime_fastpath:
+            raise ValueError(
+                "batched_core requires runtime_fastpath: the batched "
+                "emitters build on the fast transmit path and heap"
             )

@@ -141,6 +141,13 @@ class BTRSystem:
         #: rates), but lane objects are rebuilt by lane_model.install(),
         #: so run() clears this cache. Filled lazily by _transmit_fast().
         self._edge_cache: Dict[tuple, tuple] = {}
+        #: Batched event core (:mod:`repro.perf.batchcore`), constructed
+        #: on first run() when ``config.batched_core`` is set. Kept
+        #: across runs so batch-event and message free lists stay warm.
+        self.batch_runtime = None
+        #: The run's message pool (batched core only, else None); the
+        #: fast delivery/drop paths release pooled messages through it.
+        self._msg_pool = None
         # Per-run state:
         self.sim: Optional[Simulator] = None
         self.trace: Optional[Trace] = None
@@ -345,10 +352,27 @@ class BTRSystem:
             link.reset()
         self.lane_model.install()
 
+        if self.config.batched_core:
+            if self.batch_runtime is None:
+                from ...perf.batchcore import BatchRuntime
+                self.batch_runtime = BatchRuntime(self)
+            self._msg_pool = self.batch_runtime.pool
+        else:
+            self.batch_runtime = None
+            self._msg_pool = None
+        # Prototype-based HMAC is gated on the batched core so the
+        # reference benchmark column keeps the legacy per-call cost
+        # (tags are bit-identical either way).
+        self.directory.hot_protos = bool(self.config.batched_core)
+
         self.agents = {
             node_id: NodeAgent(self, node)
             for node_id, node in sorted(self.topology.nodes.items())
         }
+        if self.batch_runtime is not None:
+            # Handlers are registered in agent __init__, so the
+            # heartbeat dispatch shortcuts are resolvable now.
+            self.batch_runtime.begin_run(self.agents)
         self._install_clock_sync()
 
         script = self._resolve_script(adversary)
@@ -598,6 +622,12 @@ class BTRSystem:
         if not node.crashed:
             for handler in node._handlers:
                 handler(message, arrival)
+        # Pooled messages (batched core) are recycled once they reach
+        # their *final* destination; an intermediate hop leaves the
+        # message alive for the forwarding re-transmit.
+        pool = self._msg_pool
+        if pool is not None and message.dst == receiver:
+            pool.release(message)
 
     def _dropped_fast(self, sender: str, receiver: str,
                       message: Message) -> None:
@@ -609,6 +639,11 @@ class BTRSystem:
         else:
             self._tally_dropped += 1
         self.metrics.inc("messages_dropped", reason="link_loss")
+        # A dropped frame ends the message's journey at this hop; pooled
+        # messages are recycled immediately (nothing retains them).
+        pool = self._msg_pool
+        if pool is not None:
+            pool.release(message)
 
     def send_routed(self, agent: NodeAgent, message: Message,
                     plan) -> None:

@@ -51,6 +51,24 @@ class AuthenticatedStatement:
         object.__setattr__(stmt, "_canonical", canonical)
         return stmt
 
+    @classmethod
+    def make_batch(cls, directory: KeyDirectory, signer: str,
+                   statements) -> "list[AuthenticatedStatement]":
+        """Sign several statements by one signer in one authenticator
+        pass (:meth:`KeyDirectory.sign_bytes_batch`): the batched core
+        uses this for a source host's per-period sensor frames. The
+        resulting statements are indistinguishable from per-call
+        :meth:`make` — same tags, same cached canonical bytes."""
+        canonicals = [canonical_bytes(s) for s in statements]
+        signatures = directory.sign_bytes_batch(signer, canonicals)
+        out = []
+        for statement, canonical, signature in zip(statements, canonicals,
+                                                   signatures):
+            stmt = cls(statement=statement, signature=signature)
+            object.__setattr__(stmt, "_canonical", canonical)
+            out.append(stmt)
+        return out
+
     def canonical(self) -> bytes:
         """The canonical serialization, computed at most once."""
         cached = self.__dict__.get("_canonical")

@@ -11,6 +11,9 @@ how fast the artifact is produced and whether work is recomputed at all:
   signature :class:`VerifyMemo` (positive-only, deterministic eviction)
   plus trace fingerprints for byte-identity checks. Kept stdlib-only so
   the crypto layer can import it without cycles;
+* :mod:`repro.perf.batchcore` — the batched event core: vectorised
+  periodic-traffic fan-outs, pooled messages, coalesced timers, and
+  multi-seed sweep execution (``BTRConfig(batched_core=True)``);
 * :mod:`repro.perf.timing` — the one sanctioned wall-clock module (the
   determinism lint restricts ``repro/perf/`` and exempts only it).
 
@@ -18,6 +21,13 @@ See ``docs/PERFORMANCE.md`` for the architecture and the determinism
 guarantees each piece preserves.
 """
 
+from .batchcore import (
+    BatchRuntime,
+    SweepRun,
+    run_sweep,
+    shared_prepare,
+    sibling_system,
+)
 from .cache import (
     CACHE_ENV_VAR,
     StrategyCache,
@@ -33,6 +43,11 @@ from .symmetry import (
 )
 
 __all__ = [
+    "BatchRuntime",
+    "SweepRun",
+    "run_sweep",
+    "shared_prepare",
+    "sibling_system",
     "CACHE_ENV_VAR",
     "StrategyCache",
     "default_cache_dir",

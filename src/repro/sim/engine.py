@@ -139,9 +139,14 @@ class Simulator:
         """Fire-and-forget :meth:`call_at` for the fast heap: no
         :class:`EventHandle`, no ``_Event`` — the bare callable rides in
         the heap tuple. Only for events that are never cancelled (message
-        deliveries); requires ``fast_heap``, the caller's responsibility
-        (the runtime fast path guarantees it). Ordering is identical to
-        :meth:`call_at` — same (time, seq) key from the same counter.
+        deliveries). Ordering is identical to :meth:`call_at` — same
+        (time, seq) key from the same counter.
+
+        On a legacy-heap simulator this degrades to :meth:`call_at`
+        (handle discarded): pushing a bare tuple into an ``_Event`` heap
+        would poison every subsequent comparison, and the observable
+        behaviour of the two heap representations is pinned to be
+        identical by the engine property tests.
 
         A past ``time`` is rejected like :meth:`call_at` does: a single
         integer compare is cheap, and an event silently scheduled in the
@@ -155,6 +160,11 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at {time} (now is {self._now})"
             )
+        if not self._fast_heap:
+            event = _Event(time, next(self._seq), callback)
+            heapq.heappush(self._queue, event)
+            self._live += 1
+            return
         heapq.heappush(self._queue, (time, next(self._seq), callback))
         self._live += 1
 

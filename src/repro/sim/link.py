@@ -39,6 +39,22 @@ class Lane:
     next_free: int = 0      # earliest time the lane can start a new frame
     bits_sent: int = 0
 
+    def reserve(self, now: int, size_bits: int) -> int:
+        """Serialize one frame on this lane; returns the serialization
+        end time (arrival is this plus the link's propagation delay).
+
+        Exactly the math of :meth:`Link.transmit`; the batched emitters
+        (:mod:`repro.perf.batchcore`) call it per receiver so the
+        vectorised fan-out cannot drift from the per-message reference.
+        """
+        start = now if now >= self.next_free else self.next_free
+        duration = int(round(size_bits / self.rate_bits_per_us))
+        if duration < 1:
+            duration = 1
+        self.next_free = start + duration
+        self.bits_sent += size_bits
+        return start + duration
+
 
 class Link:
     """A point-to-point or shared link with guarded bandwidth lanes."""

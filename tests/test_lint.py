@@ -291,3 +291,71 @@ def test_mc_layer_is_in_restricted_scope():
     assert _in_restricted_layer("src/repro/mc/explorer.py")
     assert rules_hit("import time\nt = time.time()\n",
                      path=MC_PATH) == ["wallclock"]
+
+
+# ------------------------------------------------- allocation-in-loop
+
+
+BATCHCORE_PATH = "src/repro/perf/batchcore.py"
+POOL_PATH = "src/repro/sim/message.py"
+
+
+def test_allocation_in_loop_flags_constructors_and_displays():
+    src = """\
+        def emit(self, receivers):
+            for rid in receivers:
+                batch = Batch(rid)
+                extras = []
+                table = {}
+            while self.pending:
+                ids = [m.id for m in self.pending]
+    """
+    assert rules_hit(src, path=BATCHCORE_PATH) == ["allocation-in-loop"]
+    assert rules_hit(src, path=POOL_PATH) == ["allocation-in-loop"]
+
+
+def test_allocation_in_loop_accepts_pooled_steady_state():
+    src = """\
+        def emit(self, receivers):
+            free = self.free
+            for rid in receivers:
+                batch = free.pop() if free else None
+                batch.rid = rid
+                self.sim_schedule(batch)
+    """
+    assert rules_hit(src, path=BATCHCORE_PATH) == []
+
+
+def test_allocation_in_loop_scope_and_pragma():
+    src = """\
+        def grow(self, n):
+            for _ in range(n):
+                self.free.append(Message())
+    """
+    # Only the batched-core hot modules are in scope.
+    assert rules_hit(src, path=CORE_PATH) == []
+    assert rules_hit(src, path=SIM_PATH) == []
+    suppressed = textwrap.dedent("""\
+        def grow(self, n):
+            for _ in range(n):
+                self.free.append(Message())  # lint: ignore[allocation-in-loop]
+    """)
+    assert lint_source(suppressed, BATCHCORE_PATH, ALL_RULES) == []
+
+
+def test_allocation_in_loop_outside_loops_is_fine():
+    src = """\
+        def begin(self):
+            self.free = []
+            self.batch = Batch()
+    """
+    assert rules_hit(src, path=BATCHCORE_PATH) == []
+
+
+def test_batchcore_is_in_schedule_and_node_order_scope():
+    """The batched core feeds the event queue directly, so the dict-view
+    ordering rule and the schedule-bypass rule both watch it."""
+    assert rules_hit("sim.schedule(5, cb)\n", path=BATCHCORE_PATH) \
+        == ["engine-schedule-bypass"]
+    assert rules_hit("pairs = [v for v in table.values()]\n",
+                     path=BATCHCORE_PATH) == ["unsorted-node-iteration"]

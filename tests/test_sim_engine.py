@@ -241,6 +241,73 @@ def test_schedule_interleaves_with_call_at_in_seq_order():
     assert sim.events_executed == 4
 
 
+def test_peek_next_time_skips_cancelled_fast_heap():
+    """The fast heap's peek must drain cancelled head entries exactly
+    like the legacy heap does, not report a dead event's time."""
+    for fast in (False, True):
+        sim = Simulator(fast_heap=fast)
+        h1 = sim.call_at(10, lambda: None)
+        h2 = sim.call_at(20, lambda: None)
+        sim.call_at(30, lambda: None)
+        h1.cancel()
+        h2.cancel()
+        assert sim.peek_next_time() == 30, f"fast_heap={fast}"
+        assert sim.pending_events() == 1, f"fast_heap={fast}"
+
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("call_at"), st.integers(0, 500)),
+        st.tuples(st.just("call_after"), st.integers(0, 100)),
+        st.tuples(st.just("schedule"), st.integers(0, 500)),
+        st.tuples(st.just("cancel"), st.integers(0, 79)),
+        st.tuples(st.just("step"), st.just(0)),
+        st.tuples(st.just("run_until"), st.integers(0, 600)),
+        st.tuples(st.just("observe"), st.just(0)),
+    ),
+    min_size=1, max_size=80,
+)
+
+
+@given(_OPS)
+def test_property_heap_modes_observably_identical(ops):
+    """Random op programs leave both heap representations in observably
+    identical states: same fire log, same ``peek_next_time`` and
+    ``pending_events`` after every operation, same clock and executed
+    count. This pins the cancelled-entry handling of the fast heap's
+    peek/pending paths to the legacy heap's behaviour."""
+    observed = {}
+    for fast in (False, True):
+        sim = Simulator(seed=11, fast_heap=fast)
+        log = observed.setdefault(fast, [])
+        handles = []
+        for op, arg in ops:
+            if op == "call_at":
+                target = max(arg, sim.now)
+                handles.append(sim.call_at(
+                    target, lambda t=target: log.append(("fire", t))))
+            elif op == "call_after":
+                handles.append(sim.call_after(
+                    arg, lambda a=arg: log.append(("after", sim.now))))
+            elif op == "schedule":
+                target = max(arg, sim.now)
+                sim.schedule(target,
+                             lambda t=target: log.append(("sched", t)))
+            elif op == "cancel" and handles:
+                handles[arg % len(handles)].cancel()
+            elif op == "step":
+                log.append(("step", sim.step()))
+            elif op == "run_until":
+                if arg >= sim.now:
+                    sim.run_until(arg)
+            log.append(("obs", sim.now, sim.peek_next_time(),
+                        sim.pending_events(), sim.events_executed))
+        sim.run()
+        log.append(("final", sim.now, sim.events_executed,
+                    sim.pending_events(), sim.peek_next_time()))
+    assert observed[True] == observed[False]
+
+
 def test_fast_heap_compaction_spares_schedule_entries():
     sim = Simulator(fast_heap=True)
     fired = []

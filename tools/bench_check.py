@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Guard the BENCH_sim trajectory against performance regressions.
+
+``benchmarks/results/BENCH_sim.json`` is a *tracked* trajectory: every
+suite run appends one entry (git sha, date, per-scenario speedups and
+events/sec — see ``tools/run_experiments.py``). This check compares the
+latest entry against the committed baseline (the best earlier entry per
+metric) and fails on a >20% regression.
+
+Two metric classes, treated differently:
+
+* **ratio metrics** (``best_speedup_milestones``, ``best_speedup_batched``
+  per scenario) — checked by default. Both columns of a speedup come
+  from the same process on the same machine, so runner load largely
+  cancels out; a 20% drop means the optimisation layer itself decayed.
+* **absolute metrics** (``best_events_per_s_*``) — only checked with
+  ``--absolute``. Wall-clock throughput on shared CI runners is advice,
+  not ground truth; enable this locally on a quiet machine.
+
+The invariant column is always enforced: an entry recording
+``all_traces_identical: false`` fails regardless of thresholds.
+
+Usage:  python tools/bench_check.py [--absolute] [--threshold PCT]
+                [--path FILE]
+
+Exit codes: 0 ok (or fewer than two comparable entries), 1 regression or
+broken invariant, 2 unreadable trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_PATH = os.path.join(REPO, "benchmarks", "results",
+                            "BENCH_sim.json")
+
+RATIO_METRICS = ("best_speedup_full", "best_speedup_milestones",
+                 "best_speedup_batched")
+ABSOLUTE_METRICS = ("best_events_per_s_on", "best_events_per_s_batched",
+                    "best_sweep_events_per_s")
+
+
+def load_runs(path: str) -> list:
+    with open(path) as f:
+        payload = json.load(f)
+    if isinstance(payload, dict) and isinstance(payload.get("runs"), list):
+        return payload["runs"]
+    if isinstance(payload, dict) and payload.get("cases"):
+        # Legacy schema 1: a single bare aggregate, usable as baseline.
+        return [payload]
+    raise ValueError("no runs in trajectory")
+
+
+def scenario_metrics(run: dict, metrics) -> dict:
+    """{(scenario, metric): value} for every present, non-null metric."""
+    out = {}
+    for scenario, entry in (run.get("by_scenario") or {}).items():
+        for metric in metrics:
+            value = entry.get(metric)
+            if value:
+                out[(scenario, metric)] = value
+    return out
+
+
+def check(runs: list, metrics, threshold_pct: float) -> list:
+    """Regression messages comparing the last run to the best baseline.
+
+    The baseline per (scenario, metric) is the *maximum* over all
+    earlier entries — a slow run appended yesterday must not become an
+    excuse for being slow today. Scenarios absent from either side are
+    skipped (smoke entries measure a subset of the full sweep).
+    """
+    latest = runs[-1]
+    problems = []
+    if latest.get("all_traces_identical") is False:
+        problems.append("latest entry: traces NOT byte-identical "
+                        "(invariant broken — this is a bug, not a perf "
+                        "regression)")
+    if len(runs) < 2:
+        return problems
+    current = scenario_metrics(latest, metrics)
+    baseline: dict = {}
+    for run in runs[:-1]:
+        for key, value in scenario_metrics(run, metrics).items():
+            baseline[key] = max(baseline.get(key, 0), value)
+    floor = 1.0 - threshold_pct / 100.0
+    for key, base in sorted(baseline.items()):
+        value = current.get(key)
+        if value is None:
+            continue
+        if value < base * floor:
+            scenario, metric = key
+            problems.append(
+                f"{scenario}: {metric} regressed {base} -> {value} "
+                f"(>{threshold_pct:.0f}% below baseline)")
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--path", default=DEFAULT_PATH, metavar="FILE",
+                        help="trajectory file (default: "
+                             "benchmarks/results/BENCH_sim.json)")
+    parser.add_argument("--threshold", type=float, default=20.0,
+                        metavar="PCT",
+                        help="allowed regression in percent (default 20)")
+    parser.add_argument("--absolute", action="store_true",
+                        help="also check absolute events/sec metrics "
+                             "(off by default: wall clock on shared "
+                             "runners is advice, not ground truth)")
+    args = parser.parse_args()
+
+    try:
+        runs = load_runs(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"bench_check: cannot read trajectory {args.path}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    metrics = RATIO_METRICS + (ABSOLUTE_METRICS if args.absolute else ())
+    problems = check(runs, metrics, args.threshold)
+    latest = runs[-1]
+    print(f"bench_check: {len(runs)} trajectory entries; latest "
+          f"{latest.get('git_sha', '?')} ({latest.get('date_utc', '?')}, "
+          f"{latest.get('cases', 0)} cases)")
+    if problems:
+        for p in problems:
+            print(f"bench_check: FAIL {p}", file=sys.stderr)
+        return 1
+    print(f"bench_check: OK (no metric more than "
+          f"{args.threshold:.0f}% below baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,11 @@ numbers:
   node's fault filter), not raw ``sim.schedule()``; a bypassed guard
   means a compromised node keeps scheduling after its behaviour should
   have silenced it.
+* ``allocation-in-loop`` — the batched core's whole point is that the
+  steady-state loop allocates nothing; a constructor call or container
+  display inside one of its loops is either a perf regression waiting
+  to be measured or an intentional preallocation, and the pragma makes
+  the author say which.
 
 The first two are scoped to ``src/repro/sim``, ``src/repro/core`` and
 ``src/repro/perf`` (the determinism-critical layers); the clock/RNG
@@ -32,10 +37,14 @@ façades themselves (``sim/time.py``, ``sim/clock.py``,
 ``perf/timing.py`` — the one module allowed to read the host clock,
 because offline planning cost is precisely what it measures.
 ``set-iteration`` and ``float-eq`` apply everywhere;
-``unsorted-node-iteration`` is scoped to ``repro/mc`` and
-``repro/faults``, ``engine-schedule-bypass`` to the layers that hold a
+``unsorted-node-iteration`` is scoped to ``repro/mc``, ``repro/faults``
+and the batched core (whose emission plans feed the event queue
+directly), ``engine-schedule-bypass`` to the layers that hold a
 simulator reference but do not own the engine (``repro/core``,
-``repro/mc``, ``repro/obs``, ``repro/faults``).
+``repro/mc``, ``repro/obs``, ``repro/faults``) plus the batched core's
+sanctioned transmit paths (which carry pragmas), and
+``allocation-in-loop`` to the batched-core hot modules
+(``repro/perf/batchcore``, ``repro/sim/message``).
 """
 
 from __future__ import annotations
@@ -49,10 +58,13 @@ Hit = Tuple[int, int, str]
 RESTRICTED_FRAGMENTS = ("repro/sim/", "repro/core/", "repro/perf/",
                         "repro/obs/", "repro/mc/")
 #: Layers where node-id iteration order leaks into campaign reports.
-NODE_ORDER_FRAGMENTS = ("repro/mc/", "repro/faults/")
+NODE_ORDER_FRAGMENTS = ("repro/mc/", "repro/faults/",
+                        "repro/perf/batchcore")
 #: Layers that hold a simulator reference but do not own the engine.
 SCHEDULE_CLIENT_FRAGMENTS = ("repro/core/", "repro/mc/", "repro/obs/",
-                             "repro/faults/")
+                             "repro/faults/", "repro/perf/batchcore")
+#: Hot-path modules whose steady-state loops must not allocate.
+HOT_LOOP_FRAGMENTS = ("repro/perf/batchcore", "repro/sim/message")
 #: Sanctioned wrapper modules, exempt from the scoped rules.
 EXEMPT_SUFFIXES = ("repro/sim/time.py", "repro/sim/random.py",
                    "repro/sim/clock.py", "repro/perf/timing.py")
@@ -306,6 +318,63 @@ class EngineScheduleBypassRule(Rule):
                        "raw sim.schedule() call from handler-layer code")
 
 
+class AllocationInLoopRule(Rule):
+    """Flag allocations inside loops of the batched-core hot modules.
+
+    Constructor calls (Capitalized names, ``list``/``dict``/``set``/
+    ``bytearray``), container displays, and comprehensions inside a
+    ``for``/``while`` body defeat the pooling the batched core exists
+    for. Intentional allocations — pool preallocation/growth, trace
+    records that must be fresh objects, cold setup loops — carry a
+    ``# lint: ignore[allocation-in-loop]`` pragma stating as much.
+    """
+
+    id = "allocation-in-loop"
+    description = ("allocation inside a hot-module loop (constructor "
+                   "call, container display, or comprehension); pool "
+                   "it, hoist it, or mark intentional preallocation "
+                   "with a pragma")
+
+    _BUILTIN_ALLOCATORS = ("list", "dict", "set", "bytearray")
+
+    def applies_to(self, path: str) -> bool:
+        posix = _posix(path)
+        return any(fragment in posix for fragment in HOT_LOOP_FRAGMENTS)
+
+    def _allocation(self, node: ast.AST) -> str:
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                name = func.id
+                if name in self._BUILTIN_ALLOCATORS:
+                    return f"{name}() call"
+                if name[:1].isupper() and name.isidentifier():
+                    return f"constructor call {name}(...)"
+        elif isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return "container display"
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            return "comprehension"
+        return ""
+
+    def check(self, tree: ast.AST) -> Iterator[Hit]:
+        seen = set()
+        for loop in ast.walk(tree):
+            if not isinstance(loop, (ast.For, ast.While)):
+                continue
+            for stmt in loop.body + loop.orelse:
+                for node in ast.walk(stmt):
+                    what = self._allocation(node)
+                    if not what:
+                        continue
+                    key = (node.lineno, node.col_offset)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield (node.lineno, node.col_offset,
+                           f"{what} inside a hot-path loop")
+
+
 ALL_RULES = (
     WallClockRule(),
     UnseededRandomRule(),
@@ -313,10 +382,12 @@ ALL_RULES = (
     FloatEqualityRule(),
     UnsortedNodeIterationRule(),
     EngineScheduleBypassRule(),
+    AllocationInLoopRule(),
 )
 
 __all__ = [
     "ALL_RULES",
+    "AllocationInLoopRule",
     "EngineScheduleBypassRule",
     "FloatEqualityRule",
     "Rule",

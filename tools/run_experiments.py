@@ -23,10 +23,12 @@ trajectories land next to the report:
 * ``BENCH_obs.json`` — aggregated recovery-timeline observability
   (per-fault-kind phase spans, phase-sum integrity, dropped-message
   counters) from the ``obs_stats.jsonl`` stream;
-* ``BENCH_sim.json`` — aggregated online-runtime fast-path results
-  (per-scenario wall times, speedups, verify-memo hit rates, and the
-  trace byte-identity verdicts) from the ``sim_stats.jsonl`` stream
-  that E17 appends to;
+* ``BENCH_sim.json`` — the *tracked* online-runtime trajectory: one
+  entry appended per suite run (git sha, date, per-scenario events/sec
+  and speedups, trace byte-identity verdicts) aggregated from the
+  ``sim_stats.jsonl`` stream that E17/E19 append to. Unlike the other
+  BENCH files this one is committed, so ``tools/bench_check.py`` can
+  fail CI on regressions against the baseline entries;
 * ``BENCH_mc.json`` — aggregated bounded model-checking results
   (campaigns by expectation, paths explored, dedup hit-rate, pruning
   ratio, states/sec, replay-confirmation counts) from the
@@ -79,6 +81,7 @@ ORDER = [
     "e16_link_faults",
     "e17_online_throughput",
     "e18_model_check",
+    "e19_batched_core",
 ]
 
 
@@ -120,9 +123,17 @@ def preflight_verify(env: dict) -> int:
 
 
 def benchmark_files(only: str) -> list:
+    """Benchmark shards, optionally filtered by ``--only``.
+
+    ``only`` is a comma-separated list of substrings; a file runs when
+    any of them matches its basename (``--only e17,e19`` reruns just the
+    online-runtime pair).
+    """
     files = sorted(glob.glob(os.path.join(REPO, "benchmarks", "test_*.py")))
-    if only:
-        files = [f for f in files if only in os.path.basename(f)]
+    needles = [n.strip() for n in only.split(",") if n.strip()]
+    if needles:
+        files = [f for f in files
+                 if any(n in os.path.basename(f) for n in needles)]
     return files
 
 
@@ -240,25 +251,33 @@ def aggregate_obs_stats() -> dict:
 
 
 def aggregate_sim_stats() -> dict:
-    """Collapse E17's per-case jsonl into one online-runtime summary.
+    """Collapse E17/E19's per-case jsonl into one online-runtime summary.
 
-    Groups per scenario: wall times and speedups (best + worst across
-    seeds, so a lucky run can't mask a regression), online events/sec,
-    verify-memo effectiveness, and whether *every* case's full-mode
-    trace was byte-identical with the fast path on and off — the one
-    invariant the fast path is not allowed to trade away.
+    Groups per scenario@mesh: wall times and speedups (best + worst
+    across seeds, so a lucky run can't mask a regression), online
+    events/sec for the fast path (E17) and the batched core + sweep
+    (E19), verify-memo effectiveness, and whether *every* case's
+    full-mode trace was byte-identical across configurations — the one
+    invariant neither optimisation layer is allowed to trade away.
     """
     records = _read_jsonl(SIM_STATS)
     by_scenario: dict = {}
     for r in records:
-        entry = by_scenario.setdefault(r.get("scenario", "?"), {
+        key = r.get("scenario", "?")
+        if r.get("n_nodes"):
+            key = f"{key}@n{r['n_nodes']}"
+        entry = by_scenario.setdefault(key, {
             "cases": 0,
             "sim_events": 0,
             "best_speedup_full": None,
             "worst_speedup_full": None,
             "best_speedup_milestones": None,
             "worst_speedup_milestones": None,
+            "best_speedup_batched": None,
+            "worst_speedup_batched": None,
             "best_events_per_s_on": 0,
+            "best_events_per_s_batched": 0,
+            "best_sweep_events_per_s": 0,
             "verifies_off": 0,
             "verifies_on": 0,
             "memo_hits": 0,
@@ -267,7 +286,8 @@ def aggregate_sim_stats() -> dict:
         entry["cases"] += 1
         entry["sim_events"] = max(entry["sim_events"],
                                   r.get("sim_events", 0))
-        for col in ("speedup_full", "speedup_milestones"):
+        for col in ("speedup_full", "speedup_milestones",
+                    "speedup_batched"):
             value = r.get(col)
             if value is None:
                 continue
@@ -278,6 +298,12 @@ def aggregate_sim_stats() -> dict:
                             else min(entry[worst], value))
         entry["best_events_per_s_on"] = max(
             entry["best_events_per_s_on"], r.get("events_per_s_on") or 0)
+        entry["best_events_per_s_batched"] = max(
+            entry["best_events_per_s_batched"],
+            r.get("events_per_s_batched") or 0)
+        entry["best_sweep_events_per_s"] = max(
+            entry["best_sweep_events_per_s"],
+            r.get("sweep_events_per_s") or 0)
         for col in ("verifies_off", "verifies_on",
                     "memo_hits", "memo_misses"):
             entry[col] += r.get(col, 0)
@@ -291,6 +317,9 @@ def aggregate_sim_stats() -> dict:
                                     for r in records) if records else None,
         "best_speedup_milestones": max(
             (r.get("speedup_milestones") or 0 for r in records),
+            default=None),
+        "best_speedup_batched": max(
+            (r.get("speedup_batched") or 0 for r in records),
             default=None),
         "by_scenario": {k: by_scenario[k] for k in sorted(by_scenario)},
         "experiments_seen": sorted({r.get("experiment", "?")
@@ -354,6 +383,54 @@ def write_json(path: str, payload: dict) -> None:
     os.replace(tmp, path)
 
 
+def git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO, capture_output=True, text=True, timeout=10,
+        )
+        return out.stdout.strip() or "unknown"
+    except OSError:
+        return "unknown"
+
+
+def update_sim_trajectory(path: str, aggregate: dict) -> bool:
+    """Append this suite run's aggregate to the tracked trajectory.
+
+    ``BENCH_sim.json`` is committed (the other BENCH files are
+    regenerated scratch): ``{"schema": 2, "runs": [entry, ...]}``, one
+    entry per suite run that actually produced sim measurements, stamped
+    with the git sha and UTC date that produced it. Runs that exercised
+    no sim benchmark (e.g. ``--only e7``) append nothing, so a filtered
+    rerun can never dilute the trajectory with empty entries. A legacy
+    schema-1 file (a bare aggregate dict) is adopted as the first entry.
+    Returns True when an entry was appended.
+    """
+    if not aggregate.get("cases"):
+        return False
+    try:
+        with open(path) as f:
+            existing = json.load(f)
+    except (OSError, ValueError):
+        existing = None
+    if isinstance(existing, dict) and isinstance(existing.get("runs"),
+                                                 list):
+        runs = existing["runs"]
+    elif isinstance(existing, dict) and existing.get("cases"):
+        runs = [{"git_sha": "unknown", "date_utc": None, **existing}]
+    else:
+        runs = []
+    from datetime import datetime, timezone
+    runs.append({
+        "git_sha": git_sha(),
+        "date_utc": datetime.now(timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        **aggregate,
+    })
+    write_json(path, {"schema": 2, "runs": runs})
+    return True
+
+
 def collate_report(only: str) -> int:
     missing = []
     sections = []
@@ -390,9 +467,10 @@ def main() -> int:
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="benchmark shards to run concurrently "
                              "(one pytest process per benchmark file)")
-    parser.add_argument("--only", default="", metavar="SUBSTR",
+    parser.add_argument("--only", default="", metavar="SUBSTRS",
                         help="run only benchmark files whose name "
-                             "contains SUBSTR (e.g. e7)")
+                             "contains any of the comma-separated "
+                             "substrings (e.g. e7 or e17,e19)")
     parser.add_argument("--cache", default=DEFAULT_CACHE, metavar="DIR",
                         help="shared strategy cache directory "
                              "(default: benchmarks/.strategy_cache)")
@@ -436,8 +514,12 @@ def main() -> int:
                    aggregate_planner_stats())
         write_json(os.path.join(RESULTS, "BENCH_obs.json"),
                    aggregate_obs_stats())
-        write_json(os.path.join(RESULTS, "BENCH_sim.json"),
-                   aggregate_sim_stats())
+        appended = update_sim_trajectory(
+            os.path.join(RESULTS, "BENCH_sim.json"),
+            aggregate_sim_stats())
+        if appended:
+            print("BENCH_sim.json: trajectory entry appended "
+                  "(tracked file — commit it to extend the baseline)")
         write_json(os.path.join(RESULTS, "BENCH_mc.json"),
                    aggregate_mc_stats())
         print(f"suite: {suite['total_wall_s']}s wall over "

@@ -47,6 +47,12 @@ SIM_STATS_PATH = os.path.join(RESULTS_DIR, "sim_stats.jsonl")
 #: ``BENCH_mc.json``.
 MC_STATS_PATH = os.path.join(RESULTS_DIR, "mc_stats.jsonl")
 
+#: Per-campaign fuzzing stats (scripts evaluated, coverage size,
+#: violations found/confirmed, runs/sec), appended by
+#: :func:`record_fuzz` from the E20 benchmark;
+#: ``tools/run_experiments.py`` aggregates it into ``BENCH_fuzz.json``.
+FUZZ_STATS_PATH = os.path.join(RESULTS_DIR, "fuzz_stats.jsonl")
+
 
 def harness_cache_dir() -> Optional[str]:
     """The strategy-cache directory the benchmarks share.
@@ -112,6 +118,13 @@ def record_mc(row: dict, label: Optional[str] = None) -> None:
     if label is None:
         label = os.environ.get("PYTEST_CURRENT_TEST", "adhoc").split(" ")[0]
     append_jsonl(MC_STATS_PATH, {"experiment": label, **row})
+
+
+def record_fuzz(row: dict, label: Optional[str] = None) -> None:
+    """Append one fuzz campaign's stats to the fuzz stream."""
+    if label is None:
+        label = os.environ.get("PYTEST_CURRENT_TEST", "adhoc").split(" ")[0]
+    append_jsonl(FUZZ_STATS_PATH, {"experiment": label, **row})
 
 
 def write_result(name: str, text: str) -> None:

@@ -34,6 +34,15 @@ Four commands:
     every path, and either certify the config or emit a minimised,
     replay-confirmed counterexample. Exits 0 when certified, 1 on
     violations (or truncation), 2 on usage errors.
+
+``fuzz``
+    Coverage-guided adversary fuzzing (``campaign`` / ``replay`` /
+    ``corpus-check``): a seeded generator mutates fault scripts along
+    the adversary's axes, climbs a recovery-timeline fitness signal
+    toward the ``kR`` bound, and emits minimised, replay-confirmed
+    counterexamples into a corpus of regression benchmarks.
+    ``campaign`` exits 1 when it finds a violation; ``corpus-check``
+    exits 1 when any checked-in entry stops reproducing.
 """
 
 from __future__ import annotations
@@ -256,6 +265,78 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--replay", metavar="FILE", default=None,
                        help="replay a counterexample artifact through the "
                             "normal run path instead of exploring")
+
+    fuzz = sub.add_parser(
+        "fuzz", help="coverage-guided adversary fuzzing")
+    fuzz_sub = fuzz.add_subparsers(dest="fuzz_command", required=True)
+
+    fuzz_campaign = fuzz_sub.add_parser(
+        "campaign", help="run one seeded fuzz campaign")
+    common(fuzz_campaign)
+    fuzz_campaign.add_argument(
+        "--periods", type=int, default=0,
+        help="simulated periods per run (0 = auto-size so the latest "
+             "injection plus the recovery budgets fits)")
+    fuzz_campaign.add_argument(
+        "--kinds", nargs="+", metavar="KIND",
+        choices=sorted(BEHAVIOR_FACTORIES),
+        default=["crash", "commission", "omission", "timing"],
+        help="fault kinds the mutator may pick")
+    fuzz_campaign.add_argument(
+        "--window", nargs=2, type=float, default=[2.0, 3.0],
+        metavar=("LO", "HI"),
+        help="injection window in periods: faults land in [LO*P, HI*P]")
+    fuzz_campaign.add_argument(
+        "--ticks", type=int, default=2,
+        help="injection ticks the seed population samples")
+    fuzz_campaign.add_argument(
+        "--generations", type=int, default=4,
+        help="mutation generations after the seed generation")
+    fuzz_campaign.add_argument(
+        "--batch", type=int, default=8,
+        help="mutants generated per generation")
+    fuzz_campaign.add_argument(
+        "--elite", type=int, default=4,
+        help="top-fitness survivors eligible as mutation parents")
+    fuzz_campaign.add_argument(
+        "--max-injections", type=int, default=1,
+        help="max injections per script (the paper's k)")
+    fuzz_campaign.add_argument(
+        "--R", type=float, default=None, dest="R",
+        help="recovery bound to check, in seconds "
+             "(default: the prepared budget)")
+    fuzz_campaign.add_argument(
+        "--k", type=int, default=1,
+        help="adversary strength multiplier: bound is k*R")
+    fuzz_campaign.add_argument(
+        "--max-artifacts", type=int, default=8,
+        help="cap on minimised counterexample artifacts")
+    fuzz_campaign.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for candidate evaluation (the report is "
+             "byte-identical for every value)")
+    fuzz_campaign.add_argument(
+        "--report", metavar="FILE", default=None,
+        help="write the full campaign report as JSON")
+    fuzz_campaign.add_argument(
+        "--corpus-dir", metavar="DIR", default=None,
+        help="write each replay-confirmed counterexample into DIR "
+             "(content-named, append-only)")
+
+    fuzz_replay = fuzz_sub.add_parser(
+        "replay", help="re-manifest one saved counterexample")
+    common(fuzz_replay)
+    fuzz_replay.add_argument("artifact", metavar="FILE",
+                             help="a counterexample artifact JSON")
+
+    fuzz_corpus = fuzz_sub.add_parser(
+        "corpus-check",
+        help="replay every corpus entry (the regression gate)")
+    common(fuzz_corpus)
+    fuzz_corpus.add_argument("--corpus", metavar="DIR", default="corpus",
+                             help="corpus directory (default: corpus)")
+    fuzz_corpus.add_argument("--report", metavar="FILE", default=None,
+                             help="write the check report as JSON")
     return parser
 
 
@@ -458,34 +539,41 @@ def _compare_row(name: str, result, args) -> List[str]:
     ]
 
 
-def _check_replay(args) -> int:
-    """``repro check --replay FILE``: re-manifest a saved counterexample."""
+def _system_for_meta(meta: dict, args) -> BTRSystem:
+    """A prepared system on the deployment an artifact's meta pins.
+
+    CLI flags fill any gaps so hand-built artifacts remain replayable.
+    """
+    from dataclasses import replace
+
+    workload = WORKLOADS[meta.get("workload", args.workload)]()
+    topology = make_topology(meta.get("topology", args.topology),
+                             meta.get("bandwidth", args.bandwidth))
+    config = config_from_args(args)
+    if "f" in meta or "seed" in meta:
+        config = replace(config, f=meta.get("f", config.f),
+                         seed=meta.get("seed", config.seed))
+    system = BTRSystem(workload, topology, config)
+    system.prepare()
+    return system
+
+
+def _replay_artifact(path: str, args) -> int:
+    """Re-manifest a saved counterexample through the normal run path."""
     import json
 
     from .mc import replay_counterexample
     from .mc.counterexample import counterexample_from_dict
 
     try:
-        with open(args.replay) as f:
+        with open(path) as f:
             payload = json.load(f)
         cell, deliveries = counterexample_from_dict(payload)
     except (OSError, ValueError) as exc:
         print(f"repro check: cannot replay artifact: {exc}",
               file=sys.stderr)
         return 2
-    # The artifact's meta pins the config it was found on; CLI flags fill
-    # any gaps so hand-built artifacts remain replayable.
-    meta = payload.get("meta") or {}
-    workload = WORKLOADS[meta.get("workload", args.workload)]()
-    topology = make_topology(meta.get("topology", args.topology),
-                             meta.get("bandwidth", args.bandwidth))
-    config = config_from_args(args)
-    if "f" in meta or "seed" in meta:
-        from dataclasses import replace
-        config = replace(config, f=meta.get("f", config.f),
-                         seed=meta.get("seed", config.seed))
-    system = BTRSystem(workload, topology, config)
-    system.prepare()
+    system = _system_for_meta(payload.get("meta") or {}, args)
     violations, result = replay_counterexample(system, payload)
     print(f"replaying {cell.label()} with "
           f"{len(deliveries)} delivery perturbation(s) over "
@@ -506,7 +594,7 @@ def cmd_check(args) -> int:
     import os
 
     if args.replay:
-        return _check_replay(args)
+        return _replay_artifact(args.replay, args)
 
     from .mc import CheckParams, run_campaign
 
@@ -596,6 +684,122 @@ def cmd_check(args) -> int:
     return 1
 
 
+def _fuzz_campaign(args) -> int:
+    import json
+
+    from .fuzz import FuzzParams, run_fuzz_campaign, write_corpus
+
+    if args.ticks < 1 or args.generations < 0 or args.batch < 1 \
+            or args.elite < 1 or args.max_injections < 1:
+        print("repro fuzz: bounds must be positive", file=sys.stderr)
+        return 2
+    params = FuzzParams(
+        kinds=tuple(sorted(set(args.kinds))),
+        window=(args.window[0], args.window[1]),
+        ticks=args.ticks,
+        generations=args.generations,
+        batch=args.batch,
+        elite=args.elite,
+        max_injections=args.max_injections,
+        n_periods=args.periods,
+        R_us=None if args.R is None else seconds(args.R),
+        k=args.k,
+        max_artifacts=args.max_artifacts,
+        workers=args.workers,
+        seed=args.seed,
+    )
+    meta = {"workload": args.workload, "topology": args.topology,
+            "bandwidth": args.bandwidth, "f": args.f, "seed": args.seed}
+    workload = WORKLOADS[args.workload]()
+    topology = make_topology(args.topology, args.bandwidth)
+    report, stats = run_fuzz_campaign(workload, topology,
+                                      config_from_args(args),
+                                      params=params, meta=meta)
+
+    print(f"repro fuzz: {args.workload} on {args.topology}, f={args.f}, "
+          f"R={report['params']['R_us']}us, k={report['params']['k']}, "
+          f"{report['params']['n_periods']} periods/run")
+    print(f"evaluated {report['evaluated']} scripts over "
+          f"{len(report['generations'])} generations: "
+          f"{len(report['coverage'])} coverage keys, "
+          f"best fitness {report['best_fitness']} "
+          f"({stats.wall_s:.2f}s wall, {stats.runs_per_sec:.1f} runs/s, "
+          f"workers={stats.workers}"
+          + (", pool fallback" if stats.pool_fallback else "") + ")")
+
+    for artifact in report["counterexamples"]:
+        cell = artifact["cell"]
+        confirmed = ("replay-confirmed" if artifact["replay_confirmed"]
+                     else "NOT replay-confirmed")
+        print(f"  counterexample ({cell['victim']}/{cell['kind']}"
+              f"@{cell['inject_at']}, "
+              f"{len(artifact['fault_script']['injections'])} "
+              f"injection(s), {confirmed}):")
+        for violation in artifact["violations"]:
+            print(f"    [{violation['invariant']}] "
+                  f"{violation['detail']}")
+    if args.corpus_dir:
+        confirmed = [a for a in report["counterexamples"]
+                     if a["replay_confirmed"]]
+        for path in write_corpus(args.corpus_dir, confirmed):
+            print(f"  corpus entry written to {path} "
+                  f"(replay with: repro fuzz replay {path})")
+    if args.report:
+        with open(args.report, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+        print(f"campaign report written to {args.report}")
+
+    if report["found"]:
+        print(f"FOUND {report['violating_scripts']} violating script(s), "
+              f"{len(report['counterexamples'])} minimised "
+              f"counterexample(s)")
+        return 1
+    print("no violation found at this budget")
+    return 0
+
+
+def _fuzz_corpus_check(args) -> int:
+    import json
+
+    from .fuzz import check_corpus, load_corpus
+
+    try:
+        entries = load_corpus(args.corpus)
+    except (OSError, ValueError) as exc:
+        print(f"repro fuzz: cannot load corpus: {exc}", file=sys.stderr)
+        return 2
+    if not entries:
+        print(f"repro fuzz: corpus {args.corpus} is empty")
+        return 0
+    report = check_corpus(args.corpus,
+                          lambda meta: _system_for_meta(meta, args),
+                          entries=entries)
+    for entry in report["entries"]:
+        status = ("ok" if entry["confirmed"] and entry["digest_match"]
+                  else "FAIL")
+        detail = ",".join(entry["observed"]) or "none"
+        print(f"  {entry['name']}: {status} "
+              f"(recorded {','.join(entry['recorded'])}; "
+              f"replayed {detail}"
+              + ("" if entry["digest_match"] else "; digest mismatch")
+              + ")")
+    print(f"corpus: {report['checked']} entries, "
+          f"{report['failed']} failing")
+    if args.report:
+        with open(args.report, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+        print(f"corpus report written to {args.report}")
+    return 0 if report["ok"] else 1
+
+
+def cmd_fuzz(args) -> int:
+    if args.fuzz_command == "campaign":
+        return _fuzz_campaign(args)
+    if args.fuzz_command == "replay":
+        return _replay_artifact(args.artifact, args)
+    return _fuzz_corpus_check(args)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -605,6 +809,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "verify": cmd_verify,
         "trace": cmd_trace,
         "check": cmd_check,
+        "fuzz": cmd_fuzz,
     }[args.command]
     return handler(args)
 

@@ -9,6 +9,7 @@ and thus potentially force the system to produce bad outputs for kR seconds".
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -73,6 +74,22 @@ BEHAVIOR_FACTORIES: dict = {
     "rogue_clock": lambda rng: RogueClockFault(),
 }
 
+#: Concrete class per fault kind, for parameterised (re)construction.
+BEHAVIOR_CLASSES: dict = {
+    "crash": CrashFault,
+    "omission": OmissionFault,
+    "commission": CommissionFault,
+    "timing": TimingFault,
+    "equivocation": EquivocationFault,
+    "evidence_flood": EvidenceFloodFault,
+    "rogue_clock": RogueClockFault,
+}
+
+#: Behaviour parameters typed ``Optional[frozenset]``; serialised as
+#: sorted lists (JSON has no set type) and decoded back.
+_FROZENSET_PARAMS = frozenset({"target_flows", "target_tasks", "lied_to",
+                               "accused"})
+
 
 def make_behavior(kind: str, rng: Optional[DeterministicRandom] = None
                   ) -> FaultBehavior:
@@ -84,53 +101,134 @@ def make_behavior(kind: str, rng: Optional[DeterministicRandom] = None
     return factory(rng or DeterministicRandom(0))
 
 
+def behavior_params(behavior: FaultBehavior) -> dict:
+    """The behaviour's non-default parameters, as a JSON-safe dict.
+
+    The RNG is excluded (its seed is persisted separately); frozensets
+    become sorted lists. Defaulted fields are omitted so the payload of
+    a factory-made behaviour stays minimal and stable.
+    """
+    if not dataclasses.is_dataclass(behavior):
+        return {}
+    params = {}
+    for f in dataclasses.fields(behavior):
+        if f.name == "rng":
+            continue
+        value = getattr(behavior, f.name)
+        if value == f.default:
+            continue
+        if isinstance(value, frozenset):
+            value = sorted(value)
+        params[f.name] = value
+    return params
+
+
+def behavior_rng_seed(behavior: FaultBehavior) -> Optional[int]:
+    """The seed of the behaviour's RNG stream, if it carries one.
+
+    Only :class:`DeterministicRandom` streams are persistable; a
+    behaviour built with a foreign RNG serialises without one (and
+    rebuilds with a derived fork, the pre-v2 semantics).
+    """
+    rng = getattr(behavior, "rng", None)
+    if isinstance(rng, DeterministicRandom):
+        return rng.seed_value
+    return None
+
+
+def build_behavior(kind: str, params: Optional[dict] = None,
+                   rng: Optional[DeterministicRandom] = None
+                   ) -> FaultBehavior:
+    """Construct a behaviour from (kind, params, rng) — the v2 payload
+    triple. Unknown kinds and unknown parameters raise ``ValueError`` so
+    corrupt artifacts are diagnosed at load time, not deep in a run."""
+    try:
+        cls = BEHAVIOR_CLASSES[kind]
+    except KeyError:
+        raise ValueError(f"unknown fault kind {kind!r}") from None
+    decoded = {}
+    for key, value in sorted((params or {}).items()):
+        if key in _FROZENSET_PARAMS and isinstance(value, (list, tuple)):
+            value = frozenset(value)
+        decoded[key] = value
+    if dataclasses.is_dataclass(cls) and any(
+            f.name == "rng" for f in dataclasses.fields(cls)):
+        decoded.setdefault("rng", rng or DeterministicRandom(0))
+    try:
+        return cls(**decoded)
+    except TypeError as exc:
+        raise ValueError(
+            f"bad parameters for fault kind {kind!r}: {exc}") from None
+
+
 #: Bumped when the serialised script layout changes incompatibly.
-SCRIPT_VERSION = 1
+#: Version 2 adds per-injection behaviour ``params`` and ``rng_seed``,
+#: making round-trip replay trace-identical (version 1 rebuilt
+#: behaviours from a caller-supplied seed, so a replayed script was only
+#: *structurally* identical to the original). Version-1 payloads are
+#: still read, with the old semantics.
+SCRIPT_VERSION = 2
 
 
 def script_signature(script: FaultScript) -> tuple:
     """The structural identity of a script: ``(time, node, kind)`` per
     injection, in script order. Two scripts with equal signatures inject
     the same faults at the same places and times; behaviour *parameters*
-    beyond the kind (all defaulted by :data:`BEHAVIOR_FACTORIES`) are not
-    part of the identity."""
+    beyond the kind are not part of the identity (the serialised payload
+    carries them — compare :func:`script_to_dict` outputs for full
+    fidelity)."""
     return tuple((i.time, i.node, i.behavior.kind) for i in script)
 
 
 def script_to_dict(script: FaultScript) -> dict:
     """Serialise a script for artifacts (counterexamples, replays).
 
-    Only factory-made behaviours round-trip: the payload records each
-    injection's fault *kind*, and :func:`script_from_dict` rebuilds the
-    behaviour through :data:`BEHAVIOR_FACTORIES` with a deterministically
-    derived RNG fork — the same construction the runtime uses.
+    Each injection records its fault kind, its non-default behaviour
+    parameters, and — for stochastic behaviours — the seed of its RNG
+    stream, so :func:`script_from_dict` rebuilds a behaviour that
+    replays **trace-identically**, not merely one of the same kind.
     """
-    return {
-        "version": SCRIPT_VERSION,
-        "injections": [
-            {"time": i.time, "node": i.node, "kind": i.behavior.kind}
-            for i in script
-        ],
-    }
+    injections = []
+    for i in script:
+        entry: dict = {"time": i.time, "node": i.node,
+                       "kind": i.behavior.kind}
+        params = behavior_params(i.behavior)
+        if params:
+            entry["params"] = params
+        rng_seed = behavior_rng_seed(i.behavior)
+        if rng_seed is not None:
+            entry["rng_seed"] = rng_seed
+        injections.append(entry)
+    return {"version": SCRIPT_VERSION, "injections": injections}
 
 
 def script_from_dict(payload: dict, seed: int = 0) -> FaultScript:
     """Rebuild a script serialised by :func:`script_to_dict`.
 
-    ``seed`` roots the RNG forks handed to stochastic behaviours
-    (omission's drop draws); the same (payload, seed) pair always yields
-    the same script, so a replayed artifact reproduces byte-identically.
+    Version-2 payloads rebuild each behaviour from its recorded
+    parameters and persisted RNG seed, so the rebuilt script replays
+    byte-identically to the original. ``seed`` roots the RNG forks for
+    version-1 payloads (and v2 entries predating ``rng_seed``), where
+    the same (payload, seed) pair always yields the same script.
     """
     version = payload.get("version")
-    if version != SCRIPT_VERSION:
+    if version not in (1, SCRIPT_VERSION):
         raise ValueError(f"unsupported fault-script version {version!r}")
     root = DeterministicRandom(seed)
-    return FaultScript([
-        Injection(int(entry["time"]), str(entry["node"]),
-                  make_behavior(str(entry["kind"]),
-                                root.fork(f"inj{i}")))
-        for i, entry in enumerate(payload["injections"])
-    ])
+    injections = []
+    for i, entry in enumerate(payload["injections"]):
+        if version == 1:
+            behavior = make_behavior(str(entry["kind"]),
+                                     root.fork(f"inj{i}"))
+        else:
+            rng_seed = entry.get("rng_seed")
+            rng = (DeterministicRandom(int(rng_seed))
+                   if rng_seed is not None else root.fork(f"inj{i}"))
+            behavior = build_behavior(str(entry["kind"]),
+                                      entry.get("params"), rng)
+        injections.append(Injection(int(entry["time"]),
+                                    str(entry["node"]), behavior))
+    return FaultScript(injections)
 
 
 class Adversary:
@@ -192,24 +290,42 @@ class PacingAdversary(Adversary):
 
 @dataclass
 class RandomAdversary(Adversary):
-    """k faults at random times and nodes (seeded, reproducible)."""
+    """k faults at random times and nodes (seeded, reproducible).
+
+    Victims are drawn from the *deduplicated* candidate set (a caller
+    passing repeated node ids must not make double-injection of one node
+    possible), nodes in ``already_faulty`` are never re-injected (a
+    compromised node stays compromised — re-injecting it would violate
+    the :class:`FaultScript` invariant mid-build), and each (time, node)
+    pair is drawn jointly so no two injections can collide on the same
+    (tick, node).
+    """
 
     horizon: int
     k: int
     kinds: Sequence[str] = ("crash", "omission", "commission", "timing")
     min_time: int = 0
+    #: Nodes compromised before this script runs; excluded up front.
+    already_faulty: Sequence[str] = ()
 
     def script(self, candidate_nodes, rng) -> FaultScript:
-        candidates = sorted(candidate_nodes)
+        faulty = set(self.already_faulty)
+        candidates = sorted(set(candidate_nodes) - faulty)
         if len(candidates) < self.k:
-            raise ValueError("not enough candidate nodes")
+            raise ValueError(
+                f"adversary wants {self.k} victims, only "
+                f"{len(candidates)} distinct un-compromised candidates")
         victims = rng.sample(candidates, self.k)
-        times = sorted(
-            rng.randint(self.min_time, self.horizon) for _ in range(self.k)
+        # Times are drawn per victim (in victim order) and the pairs then
+        # sorted jointly, so the (tick, node) pairing is a pure function
+        # of the seed — not an artifact of sorting times independently.
+        pairs = sorted(
+            (rng.randint(self.min_time, self.horizon), node)
+            for node in victims
         )
         return FaultScript([
             Injection(t, node,
                       make_behavior(rng.choice(list(self.kinds)),
                                     rng.fork(f"rand{i}")))
-            for i, (t, node) in enumerate(zip(times, victims))
+            for i, (t, node) in enumerate(pairs)
         ])

@@ -1,0 +1,359 @@
+"""The fuzz campaign: seeded generations fanned out over workers.
+
+One campaign is the unit ``repro fuzz campaign`` runs: seed an initial
+population of single-injection scripts, then for each generation mutate
+parents drawn from the survivor pool (elite fitness ∪ novel coverage),
+evaluate every candidate through the normal ``BTRSystem.run`` path,
+check the per-path invariants, and keep what climbs or covers. Any
+violating script is minimised to its shortest violating injection
+prefix, serialised in the ``mc/`` counterexample format, and
+replay-confirmed — the artifact a corpus entry is made of.
+
+**Byte-reproducibility.** The report is a pure function of (workload,
+topology, config, params): candidate genomes derive only from the
+campaign seed, the generation index, and the candidate index; every
+evaluation is a pure function of its genome; batches are evaluated by
+an order-preserving ``pool.map`` and merged in candidate order
+regardless of completion order. ``workers=4`` therefore serialises
+byte-identically to ``workers=1`` — the tests assert it. Wall-clock
+figures live in the separate :class:`FuzzStats`, never in the report.
+
+**Parallelism is an optimisation, never a semantic** (same contract as
+:mod:`repro.mc.campaign`): if a worker pool cannot be created the
+campaign degrades to in-process evaluation and flags ``pool_fallback``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.runtime.system import BTRSystem
+from ..mc.choices import Cell
+from ..mc.counterexample import (
+    counterexample_to_dict,
+    replay_counterexample,
+)
+from ..mc.explorer import state_fingerprint
+from ..mc.invariants import check_path
+from ..obs.recovery import reconstruct_timelines
+from ..perf.batchcore import shared_prepare
+from ..perf.timing import Stopwatch
+from ..sim.random import DeterministicRandom
+from .fitness import (
+    coverage_keys,
+    fitness_vector,
+    rank_key,
+    verdict_keys,
+)
+from .mutate import MutationSpace, canonical_script, mutate_script, seed_scripts
+
+#: Bumped when the campaign report layout changes incompatibly.
+FUZZ_REPORT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FuzzParams:
+    """Bounds and knobs of one campaign; frozen so it ships to workers
+    and into the report verbatim."""
+
+    #: Fault kinds the mutator may pick.
+    kinds: Tuple[str, ...] = ("crash", "commission", "omission", "timing")
+    #: Injection window in periods: faults land in
+    #: ``[window[0] * P, window[1] * P]``.
+    window: Tuple[float, float] = (2.0, 3.0)
+    #: Injection ticks the seed population samples across the window.
+    ticks: int = 2
+    #: Mutation generations after the seed generation.
+    generations: int = 4
+    #: Mutants generated per generation.
+    batch: int = 8
+    #: Top-fitness survivors eligible as mutation parents.
+    elite: int = 4
+    #: Max injections per script (the paper's k ≤ f).
+    max_injections: int = 1
+    #: Simulated periods per run; 0 auto-sizes so the latest injection
+    #: plus ``max_injections`` recovery budgets fit before the run ends.
+    n_periods: int = 0
+    #: Recovery bound to check, µs; None means the prepared budget.
+    R_us: Optional[int] = None
+    #: Definition 3.1 adversary strength multiplier (bound is ``k * R``).
+    k: int = 1
+    #: Cap on minimised + replay-confirmed artifacts in the report.
+    max_artifacts: int = 8
+    #: Worker processes for candidate evaluation.
+    workers: int = 1
+    #: Seed every candidate genome derives from.
+    seed: int = 0
+
+
+@dataclass
+class FuzzStats:
+    """Wall-clock figures, kept out of the byte-compared report."""
+
+    workers: int = 1
+    pool_fallback: bool = False
+    wall_s: float = 0.0
+    runs: int = 0
+    runs_per_sec: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+def _evaluate(system, payload: dict, params: FuzzParams) -> dict:
+    """One candidate end-to-end: run, score, cover. Pure in the genome;
+    runs identically in-process or in a worker."""
+    from ..faults.adversary import script_from_dict
+
+    script = script_from_dict(payload)
+    result = system.run(n_periods=params.n_periods, adversary=script)
+    timelines = reconstruct_timelines(result)
+    violations = check_path(result, system.strategy, params.R_us,
+                            k=params.k)
+    coverage = coverage_keys(result, timelines, payload,
+                             system.workload.period)
+    coverage |= verdict_keys(violations)
+    return {
+        "key": canonical_script(payload),
+        "script": payload,
+        "fitness": list(fitness_vector(timelines, params.R_us,
+                                       k=params.k)),
+        "coverage": sorted(coverage),
+        "violations": [v.to_dict() for v in violations],
+    }
+
+
+# Per-worker campaign context, installed once by the pool initializer.
+_WORKER_CONTEXT: Optional[Tuple] = None
+_WORKER_SYSTEM: Optional[BTRSystem] = None
+
+
+def _init_worker(context: Tuple) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def _fuzz_task(payload_json: str) -> dict:
+    """Evaluate one candidate in a worker; ships back the plain dict."""
+    global _WORKER_SYSTEM
+    workload, topology, config, params = _WORKER_CONTEXT
+    if _WORKER_SYSTEM is None:
+        system = BTRSystem(workload, topology, config)
+        system.prepare()
+        _WORKER_SYSTEM = system
+    return _evaluate(_WORKER_SYSTEM, json.loads(payload_json), params)
+
+
+def _minimise_script(system, payload: dict, params: FuzzParams
+                     ) -> Tuple[dict, list]:
+    """Shortest violating injection prefix of a violating script.
+
+    Injections are time-ordered, so prefixes are the natural shrink: the
+    first prefix that still violates is returned with its violations
+    (the full script violates by assumption, so the search always
+    terminates with a non-empty result).
+    """
+    from ..faults.adversary import script_from_dict
+
+    entries = payload["injections"]
+    for length in range(1, len(entries) + 1):
+        candidate = {"version": payload["version"],
+                     "injections": entries[:length]}
+        result = system.run(n_periods=params.n_periods,
+                            adversary=script_from_dict(candidate))
+        violations = check_path(result, system.strategy, params.R_us,
+                                k=params.k)
+        if violations:
+            return candidate, violations
+    raise AssertionError("parent script no longer violates")
+
+
+def _make_artifact(system, payload: dict, params: FuzzParams,
+                   meta: Optional[dict]) -> dict:
+    """Minimise, serialise (mc counterexample format), replay-confirm."""
+    from ..faults.adversary import script_from_dict
+
+    minimised, violations = _minimise_script(system, payload, params)
+    first = minimised["injections"][0]
+    # The cell labels the artifact's first injection; the serialised
+    # fault script is the authoritative replay input (deliveries are
+    # empty — the fuzzer perturbs the adversary, not the network).
+    artifact = counterexample_to_dict(
+        Cell(first["node"], first["kind"], first["time"]), (),
+        violations, script=script_from_dict(minimised),
+        n_periods=params.n_periods, R_us=params.R_us, k=params.k,
+        seed=params.seed, meta=dict(meta or {}, source="fuzz"))
+    replayed, result = replay_counterexample(system, artifact)
+    artifact["replay_confirmed"] = bool(replayed)
+    # The primitives-only path abstraction: corpus checks compare replays
+    # across processes (and commits) by this digest.
+    artifact["replay_digest"] = state_fingerprint(result)
+    return artifact
+
+
+def _survivor_pool(evaluated: Dict[str, dict], novel: List[str],
+                   elite: int) -> List[str]:
+    """Mutation parents: elite by fitness, then coverage-novel keys, in
+    a deterministic order."""
+    ranked = sorted(evaluated.values(), key=rank_key)
+    pool = [record["key"] for record in ranked[:elite]]
+    pool.extend(key for key in novel if key not in pool)
+    return pool
+
+
+def run_fuzz_campaign(workload, topology, config,
+                      params: Optional[FuzzParams] = None,
+                      meta: Optional[dict] = None
+                      ) -> Tuple[dict, FuzzStats]:
+    """Run one coverage-guided fuzz campaign.
+
+    Returns ``(report, stats)``: the report is deterministic and
+    byte-comparable across worker counts; the stats carry wall-clock
+    figures (runs/sec, pool fallback) for the benchmark layer.
+    """
+    params = params or FuzzParams()
+    watch = Stopwatch()
+    # Milestone traces carry every event the invariants, the timelines,
+    # and the coverage map read, at a fraction of full-mode volume.
+    config = replace(config, trace_mode="milestones")
+    system = BTRSystem(workload, topology, config)
+    budget = shared_prepare(system)
+    period = workload.period
+
+    R_us = params.R_us if params.R_us is not None else budget.total_us
+    window_end_us = int(params.window[1] * period)
+    # Auto-size the horizon so the latest injection plus one recovery
+    # budget per possible injection (plus a settling period) fits.
+    min_periods = math.ceil(
+        (window_end_us + params.max_injections * budget.total_us)
+        / period) + 1
+    resolved = replace(params, R_us=R_us,
+                       n_periods=max(params.n_periods, min_periods))
+
+    space = MutationSpace.from_system(
+        system, kinds=resolved.kinds, window=resolved.window,
+        max_injections=resolved.max_injections)
+
+    workers = max(1, resolved.workers)
+    stats = FuzzStats(workers=workers)
+    pool: Optional[ProcessPoolExecutor] = None
+    if workers > 1:
+        # The context is pickled *before* any run attaches handler
+        # closures to topology nodes, which keeps it picklable.
+        context = (workload, topology, config, resolved)
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers,
+                                       initializer=_init_worker,
+                                       initargs=(context,))
+        except (OSError, ValueError, ImportError):
+            stats.pool_fallback = True
+            pool = None
+
+    def evaluate_batch(payloads: List[dict]) -> List[dict]:
+        nonlocal pool
+        if pool is not None:
+            try:
+                return list(pool.map(
+                    _fuzz_task,
+                    [canonical_script(p) for p in payloads]))
+            except (OSError, ValueError, ImportError):
+                stats.pool_fallback = True
+                pool.shutdown(wait=False)
+                pool = None
+        return [_evaluate(system, p, resolved) for p in payloads]
+
+    evaluated: Dict[str, dict] = {}
+    coverage_total: set = set()
+    novel_keys: List[str] = []
+    violating_keys: List[str] = []
+    history: List[dict] = []
+    try:
+        for gen in range(resolved.generations + 1):
+            if gen == 0:
+                batch = seed_scripts(space, ticks=resolved.ticks)
+            else:
+                gen_rng = DeterministicRandom(resolved.seed).fork(
+                    f"gen{gen}")
+                parents = _survivor_pool(evaluated, novel_keys,
+                                         resolved.elite)
+                batch = []
+                for i in range(resolved.batch):
+                    rng = gen_rng.fork(f"cand{i}")
+                    parent = evaluated[rng.choice(parents)]["script"]
+                    batch.append(mutate_script(parent, space, rng))
+            # Dedupe within the batch and against everything evaluated:
+            # re-running a genome cannot add fitness or coverage.
+            todo: List[dict] = []
+            seen = set(evaluated)
+            for payload in batch:
+                key = canonical_script(payload)
+                if key not in seen:
+                    seen.add(key)
+                    todo.append(payload)
+            fresh_cov = 0
+            best: Optional[List[int]] = None
+            for record in evaluate_batch(todo):
+                evaluated[record["key"]] = record
+                fresh = set(record["coverage"]) - coverage_total
+                if fresh:
+                    coverage_total |= fresh
+                    fresh_cov += len(fresh)
+                    novel_keys.append(record["key"])
+                if record["violations"]:
+                    violating_keys.append(record["key"])
+                if best is None or record["fitness"] > best:
+                    best = record["fitness"]
+            history.append({
+                "generation": gen,
+                "candidates": len(batch),
+                "evaluated": len(todo),
+                "new_coverage": fresh_cov,
+                "best_fitness": best,
+            })
+    finally:
+        if pool is not None:
+            pool.shutdown()
+
+    # Minimise + replay-confirm in discovery order; dedupe artifacts by
+    # their minimised genome (many parents can shrink to one script).
+    artifacts: List[dict] = []
+    seen_minimised: set = set()
+    for key in violating_keys:
+        if len(artifacts) >= resolved.max_artifacts:
+            break
+        artifact = _make_artifact(system, evaluated[key]["script"],
+                                  resolved, meta)
+        minimised_key = canonical_script(artifact["fault_script"])
+        if minimised_key not in seen_minimised:
+            seen_minimised.add(minimised_key)
+            artifacts.append(artifact)
+
+    overall_best = max((evaluated[key]["fitness"]
+                        for key in sorted(evaluated)), default=None)
+    # Worker count is an execution detail (like wall-clock): it lives in
+    # the stats, never in the byte-compared report.
+    params_payload = asdict(resolved)
+    del params_payload["workers"]
+    report = {
+        "version": FUZZ_REPORT_VERSION,
+        "meta": dict(meta or {}),
+        "params": params_payload,
+        "budget_us": budget.total_us,
+        "space": asdict(space),
+        "generations": history,
+        "evaluated": len(evaluated),
+        "coverage": sorted(coverage_total),
+        "best_fitness": overall_best,
+        "violating_scripts": len(violating_keys),
+        "counterexamples": artifacts,
+        "found": bool(artifacts),
+    }
+    stats.runs = len(evaluated)
+    stats.wall_s = watch.elapsed_s()
+    if stats.wall_s > 0:
+        stats.runs_per_sec = stats.runs / stats.wall_s
+    return report, stats

@@ -1,0 +1,134 @@
+"""The corpus: found counterexamples as permanent regression benchmarks.
+
+Every artifact the fuzzer confirms gets written into a ``corpus/``
+directory, named by a content hash of its replay-relevant fields, so a
+corpus is append-only and merge-friendly: re-finding a known script is
+a no-op, two campaigns never collide on a name, and renames cannot
+detach an entry from its content. ``check_corpus`` is the regression
+gate CI runs — every checked-in entry must still reproduce its recorded
+verdict (and its replay digest, when recorded) through the normal
+``BTRSystem.run`` path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..mc.counterexample import (
+    counterexample_from_dict,
+    replay_counterexample,
+)
+from ..mc.explorer import state_fingerprint
+
+#: Artifact fields that determine what a replay executes (meta and the
+#: recorded verdicts are excluded: they describe, they don't replay —
+#: except the meta keys that pin the deployment, hashed separately).
+_IDENTITY_KEYS = ("fault_script", "deliveries", "n_periods", "R_us", "k",
+                  "seed")
+#: Meta keys that pin which deployment the artifact replays on.
+_DEPLOYMENT_KEYS = ("workload", "topology", "bandwidth", "f")
+
+
+def artifact_name(artifact: dict) -> str:
+    """Content-derived corpus file name for one artifact."""
+    identity = {key: artifact.get(key) for key in _IDENTITY_KEYS}
+    meta = artifact.get("meta") or {}
+    identity["deployment"] = {key: meta.get(key)
+                              for key in _DEPLOYMENT_KEYS}
+    digest = hashlib.sha256(
+        json.dumps(identity, sort_keys=True,
+                   separators=(",", ":")).encode()).hexdigest()
+    return f"fuzz-{digest[:12]}.json"
+
+
+def write_corpus(dirpath: str, artifacts: List[dict]) -> List[str]:
+    """Write artifacts into the corpus; returns the paths written.
+
+    Writing is idempotent: an entry that already exists under its
+    content name is rewritten with identical bytes.
+    """
+    os.makedirs(dirpath, exist_ok=True)
+    paths = []
+    for artifact in artifacts:
+        path = os.path.join(dirpath, artifact_name(artifact))
+        with open(path, "w") as f:
+            json.dump(artifact, f, indent=2, sort_keys=True)
+            f.write("\n")
+        paths.append(path)
+    return paths
+
+
+def load_corpus(dirpath: str) -> List[Tuple[str, dict]]:
+    """All corpus entries as (name, payload), sorted by name.
+
+    Raises ``ValueError`` on a malformed entry — a corpus that does not
+    parse must fail the gate loudly, not slip through it.
+    """
+    entries = []
+    for name in sorted(os.listdir(dirpath)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(dirpath, name)
+        try:
+            with open(path) as f:
+                payload = json.load(f)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(f"corpus entry {name}: unreadable: {exc}"
+                             ) from None
+        counterexample_from_dict(payload)  # structural validation
+        entries.append((name, payload))
+    return entries
+
+
+def check_corpus(dirpath: str,
+                 build_system: Callable[[dict], object],
+                 entries: Optional[List[Tuple[str, dict]]] = None
+                 ) -> dict:
+    """Replay every corpus entry; the CI regression gate.
+
+    ``build_system`` maps an artifact's ``meta`` to a **prepared**
+    ``BTRSystem`` (the CLI builds one from the meta's workload/topology
+    keys); systems are cached per deployment so a corpus of N entries on
+    one config prepares once. Each entry passes iff its replay still
+    produces every recorded invariant verdict, and — when the artifact
+    recorded a ``replay_digest`` — the replayed path's primitives-only
+    fingerprint matches byte-for-byte.
+    """
+    if entries is None:
+        entries = load_corpus(dirpath)
+    systems: Dict[tuple, object] = {}
+    results = []
+    for name, payload in entries:
+        meta = payload.get("meta") or {}
+        deployment = tuple(
+            (key, meta.get(key)) for key in _DEPLOYMENT_KEYS)
+        system = systems.get(deployment)
+        if system is None:
+            system = systems[deployment] = build_system(meta)
+        violations, result = replay_counterexample(system, payload)
+        recorded = sorted({v["invariant"]
+                           for v in payload.get("violations", [])})
+        observed = sorted({v.invariant for v in violations})
+        verdict_ok = bool(violations) and set(recorded) <= set(observed)
+        digest = state_fingerprint(result)
+        expected = payload.get("replay_digest")
+        digest_ok = expected is None or digest == expected
+        results.append({
+            "name": name,
+            "confirmed": verdict_ok,
+            "digest_match": digest_ok,
+            "recorded": recorded,
+            "observed": observed,
+            "digest": digest,
+        })
+    return {
+        "entries": results,
+        "checked": len(results),
+        "failed": sum(1 for r in results
+                      if not (r["confirmed"] and r["digest_match"])),
+        "ok": all(r["confirmed"] and r["digest_match"]
+                  for r in results),
+    }

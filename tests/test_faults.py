@@ -300,3 +300,101 @@ def test_script_from_dict_rejects_bad_payloads():
         script_from_dict({**payload, "version": 99})
     with pytest.raises(ValueError):
         script_from_dict({"injections": payload["injections"]})
+
+
+def test_random_adversary_dedupes_candidates_and_guards_faulty():
+    """Duplicate candidate ids collapse to one victim slot, and nodes
+    already compromised before the script are never re-injected."""
+    adv = RandomAdversary(horizon=50_000, k=3)
+    script = adv.script(["n1", "n1", "n2", "n2", "n3", "n4"],
+                        DeterministicRandom(5))
+    assert len(set(script.faulty_nodes)) == 3
+
+    guarded = RandomAdversary(horizon=50_000, k=2,
+                              already_faulty=("n1", "n2"))
+    script = guarded.script(["n1", "n2", "n3", "n4"],
+                            DeterministicRandom(5))
+    assert set(script.faulty_nodes) <= {"n3", "n4"}
+
+    with pytest.raises(ValueError, match="distinct un-compromised"):
+        RandomAdversary(horizon=50_000, k=3,
+                        already_faulty=("n1", "n2")).script(
+            ["n1", "n1", "n2", "n3", "n4"], DeterministicRandom(5))
+
+
+@pytest.mark.parametrize("method", ["spawn", "fork"])
+@pytest.mark.parametrize("adversary_kind", ["random", "pacing"])
+def test_adversary_determinism_under_spawn_and_fork(adversary_kind,
+                                                    method):
+    """Same seed → identical ``script_signature`` whichever start method
+    spawned the worker (spawn re-imports, fork inherits — both must
+    agree with the parent)."""
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor
+
+    if method not in multiprocessing.get_all_start_methods():
+        pytest.skip(f"start method {method!r} unavailable")
+    local = _script_signature_task((adversary_kind, 7))
+    try:
+        with ProcessPoolExecutor(
+                max_workers=2,
+                mp_context=multiprocessing.get_context(method)) as pool:
+            remote = list(pool.map(_script_signature_task,
+                                   [(adversary_kind, 7)] * 2))
+    except (OSError, ValueError, ImportError):
+        pytest.skip("process pools unavailable in this environment")
+    assert remote == [local, local]
+
+
+def test_v2_payload_persists_params_and_rng_seed():
+    """The serialised payload carries behaviour parameters and the RNG
+    seed, so a rebuilt behaviour is the original, not just its kind."""
+    from repro.faults import script_from_dict, script_to_dict
+
+    script = FaultScript([
+        Injection(10_000, "n1", OmissionFault(
+            drop_probability=0.5, target_flows=frozenset({"flow_b"}),
+            rng=DeterministicRandom(1234))),
+        Injection(20_000, "n2", TimingFault(delay_us=7_500,
+                                            fake_timestamp=True)),
+    ])
+    payload = script_to_dict(script)
+    assert payload["version"] == 2
+    omission, timing = payload["injections"]
+    assert omission["params"] == {"drop_probability": 0.5,
+                                  "target_flows": ["flow_b"]}
+    assert omission["rng_seed"] == 1234
+    assert timing["params"] == {"delay_us": 7_500,
+                                "fake_timestamp": True}
+
+    rebuilt = script_from_dict(payload)
+    assert rebuilt.injections[0].behavior.drop_probability == 0.5
+    assert rebuilt.injections[0].behavior.target_flows \
+        == frozenset({"flow_b"})
+    assert rebuilt.injections[0].behavior.rng.seed_value == 1234
+    assert rebuilt.injections[1].behavior.delay_us == 7_500
+    assert script_to_dict(rebuilt) == payload
+
+
+def test_script_round_trip_replays_byte_identically():
+    """A serialised + rebuilt script replays to a byte-identical trace —
+    the fidelity contract the fuzzer's corpus rests on (a v1 payload
+    only promised structural identity)."""
+    from repro import BTRConfig, BTRSystem
+    from repro.faults import script_from_dict, script_to_dict
+    from repro.net import full_mesh_topology
+    from repro.perf.fastpath import trace_fingerprint
+    from repro.workload import pipeline_workload
+
+    system = BTRSystem(pipeline_workload(),
+                       full_mesh_topology(4, bandwidth=1e8),
+                       BTRConfig(f=1))
+    system.prepare()
+    script = RandomAdversary(horizon=120_000, min_time=40_000, k=1,
+                             kinds=("omission",)).script(
+        system.compromisable_nodes(), DeterministicRandom(3))
+    reference = system.run(n_periods=10, adversary=script)
+    rebuilt = script_from_dict(script_to_dict(script))
+    replayed = system.run(n_periods=10, adversary=rebuilt)
+    assert trace_fingerprint(replayed.trace) \
+        == trace_fingerprint(reference.trace)

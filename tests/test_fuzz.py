@@ -1,0 +1,304 @@
+"""Tests for the coverage-guided fuzzer (``repro.fuzz`` / ``repro fuzz``).
+
+All campaigns run the smallest config the placement rules admit —
+``pipeline`` on ``fullmesh:4`` with f=1 — with tight bounds (few
+generations, small batches) so the whole file stays in CI-smoke
+territory. ``R_us=30_000`` deliberately under-provisions commission
+recovery (~40–76 ms on this config), the knob every "must find"
+campaign turns.
+"""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.runtime.config import BTRConfig
+from repro.core.runtime.system import BTRSystem
+from repro.fuzz import (
+    FuzzParams,
+    MutationSpace,
+    artifact_name,
+    canonical_script,
+    check_corpus,
+    load_corpus,
+    mutate_script,
+    run_fuzz_campaign,
+    seed_scripts,
+    write_corpus,
+)
+from repro.fuzz.fitness import fitness_vector
+from repro.mc import replay_counterexample
+from repro.net import full_mesh_topology
+from repro.sim import DeterministicRandom
+from repro.workload import pipeline_workload
+
+META = {"workload": "pipeline", "topology": "fullmesh:4",
+        "bandwidth": 1e8, "f": 1, "seed": 0}
+
+
+def small_system(**config_kw):
+    config = BTRConfig(f=1, trace_mode="milestones", **config_kw)
+    system = BTRSystem(pipeline_workload(),
+                       full_mesh_topology(4, bandwidth=META["bandwidth"]),
+                       config)
+    system.prepare()
+    return system
+
+
+def tiny_params(**kw):
+    defaults = dict(kinds=("crash", "commission", "timing"), ticks=2,
+                    generations=2, batch=4, elite=3, seed=7)
+    defaults.update(kw)
+    return FuzzParams(**defaults)
+
+
+def run_tiny(params=None, **campaign_kw):
+    return run_fuzz_campaign(pipeline_workload(),
+                             full_mesh_topology(4,
+                                                bandwidth=META["bandwidth"]),
+                             BTRConfig(f=1), params or tiny_params(),
+                             meta=dict(META), **campaign_kw)
+
+
+def small_space(**kw):
+    system = small_system()
+    defaults = dict(kinds=("crash", "commission", "omission", "timing",
+                           "equivocation", "evidence_flood",
+                           "rogue_clock"),
+                    window=(2.0, 3.0), max_injections=2)
+    defaults.update(kw)
+    return MutationSpace.from_system(system, **defaults)
+
+
+# ------------------------------------------------------------ mutation
+
+
+def test_seed_scripts_cover_kinds_and_ticks():
+    space = small_space(kinds=("crash", "commission"))
+    seeds = seed_scripts(space, ticks=2)
+    assert len(seeds) == 4  # 2 kinds × 2 ticks
+    kinds = {s["injections"][0]["kind"] for s in seeds}
+    assert kinds == {"crash", "commission"}
+    times = {s["injections"][0]["time"] for s in seeds}
+    assert len(times) == 2
+    lo, hi = space.window_us
+    assert all(lo <= t <= hi for t in times)
+
+
+def test_mutants_always_decode_and_respect_the_space():
+    """Every mutant over a long random walk stays valid: decodable,
+    inside the window, unique victims, bounded injection count."""
+    from repro.faults import script_from_dict
+
+    space = small_space()
+    rng = DeterministicRandom(0)
+    payload = seed_scripts(space, ticks=1)[0]
+    lo, hi = space.window_us
+    for step in range(200):
+        payload = mutate_script(payload, space, rng.fork(f"s{step}"))
+        script = script_from_dict(payload)  # raises if invalid
+        assert 1 <= len(script) <= space.max_injections
+        assert len(set(script.faulty_nodes)) == len(script)
+        assert all(lo <= e["time"] <= hi
+                   for e in payload["injections"])
+        assert all(e["node"] in space.nodes
+                   for e in payload["injections"])
+
+
+def test_mutation_is_seed_deterministic():
+    space = small_space()
+    payload = seed_scripts(space, ticks=1)[0]
+    a = mutate_script(payload, space, DeterministicRandom(0).fork("x"))
+    b = mutate_script(payload, space, DeterministicRandom(0).fork("x"))
+    c = mutate_script(payload, space, DeterministicRandom(0).fork("y"))
+    assert canonical_script(a) == canonical_script(b)
+    assert canonical_script(a) != canonical_script(c) or a == c
+
+
+# ------------------------------------------------------------ fitness
+
+
+def test_fitness_vector_orders_by_recovery():
+    class T:
+        def __init__(self, total, phases):
+            self.total_us = total
+            self.phases = phases
+
+    calm = fitness_vector([T(10_000, {"detect": 10_000})], 30_000)
+    bad = fitness_vector([T(40_000, {"detect": 40_000})], 30_000)
+    assert bad > calm
+    assert bad[-1] == 10_000  # past the bound by 10 ms
+    assert calm[-1] == -20_000
+    assert fitness_vector([], 30_000) == (0, 0, 0, -30_000)
+
+
+# ------------------------------------------------------------ campaign
+
+
+def test_campaign_finds_minimises_and_confirms_at_tight_R():
+    report, stats = run_tiny(tiny_params(R_us=30_000))
+    assert report["found"]
+    assert report["violating_scripts"] > 0
+    for artifact in report["counterexamples"]:
+        assert artifact["replay_confirmed"]
+        assert artifact["replay_digest"]
+        assert len(artifact["fault_script"]["injections"]) == 1
+        assert any(v["invariant"] == "recovery-bound"
+                   for v in artifact["violations"])
+    assert stats.runs == report["evaluated"]
+
+
+def test_campaign_clean_at_planned_budget():
+    report, _ = run_tiny(tiny_params())
+    assert report["params"]["R_us"] == report["budget_us"]
+    assert not report["found"]
+    assert report["violating_scripts"] == 0
+    assert report["counterexamples"] == []
+    # The search still did real work: coverage and fitness are non-void.
+    assert report["coverage"]
+    assert report["best_fitness"][0] > 0
+
+
+def test_campaign_report_byte_identical_across_workers():
+    params = tiny_params(R_us=30_000)
+    serial, _ = run_tiny(params)
+    parallel, stats = run_tiny(FuzzParams(**{**params.__dict__,
+                                             "workers": 2}))
+    if stats.pool_fallback:
+        pytest.skip("process pools unavailable in this environment")
+    assert json.dumps(serial, sort_keys=True) \
+        == json.dumps(parallel, sort_keys=True)
+
+
+def test_minimised_counterexample_still_violates_parent_invariant():
+    """The shrunk script must break the same invariant that killed its
+    parent, re-checked through a fresh replay."""
+    report, _ = run_tiny(tiny_params(R_us=30_000))
+    system = small_system()
+    for artifact in report["counterexamples"]:
+        violations, _ = replay_counterexample(system, artifact)
+        observed = {v.invariant for v in violations}
+        recorded = {v["invariant"] for v in artifact["violations"]}
+        assert recorded <= observed
+
+
+def test_campaign_coverage_guides_survival():
+    """Coverage keys accumulate monotonically and the report's history
+    accounts for every generation."""
+    report, _ = run_tiny(tiny_params(R_us=30_000))
+    assert len(report["generations"]) == 3  # seeds + 2 generations
+    assert report["generations"][0]["new_coverage"] > 0
+    assert sum(g["new_coverage"] for g in report["generations"]) \
+        == len(report["coverage"])
+    assert any(key.startswith("switch:") for key in report["coverage"])
+    assert any(key.startswith("milestone:")
+               for key in report["coverage"])
+    assert any(key.startswith("verdict:recovery-bound")
+               for key in report["coverage"])
+
+
+# ------------------------------------------------------------ corpus
+
+
+def _corpus_check_digests(corpus_dir: str) -> list:
+    """Corpus replay digests computed in a fresh interpreter."""
+    code = f"""
+import json
+from repro.core.runtime.config import BTRConfig
+from repro.core.runtime.system import BTRSystem
+from repro.fuzz import check_corpus
+from repro.net import full_mesh_topology
+from repro.workload import pipeline_workload
+
+def build(meta):
+    system = BTRSystem(pipeline_workload(),
+                       full_mesh_topology(4, bandwidth=meta["bandwidth"]),
+                       BTRConfig(f=meta["f"], seed=meta["seed"],
+                                 trace_mode="milestones"))
+    system.prepare()
+    return system
+
+report = check_corpus({corpus_dir!r}, build)
+print(json.dumps([(e["name"], e["digest"], e["confirmed"],
+                   e["digest_match"]) for e in report["entries"]]))
+"""
+    import os
+
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(repo, "src")
+    out = subprocess.run([sys.executable, "-c", code],
+                         capture_output=True, text=True, env=env,
+                         cwd=repo)
+    assert out.returncode == 0, out.stderr
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def test_corpus_round_trip_and_cross_process_replay(tmp_path):
+    """Corpus entries are content-named, reload structurally intact, and
+    replay byte-identically (same digest, same verdict) in two separate
+    fresh processes."""
+    report, _ = run_tiny(tiny_params(R_us=30_000))
+    confirmed = [a for a in report["counterexamples"]
+                 if a["replay_confirmed"]]
+    assert confirmed
+    corpus_dir = str(tmp_path / "corpus")
+    paths = write_corpus(corpus_dir, confirmed)
+    assert len(paths) == len(confirmed)
+    entries = load_corpus(corpus_dir)
+    assert [name for name, _ in entries] \
+        == sorted(artifact_name(a) for a in confirmed)
+
+    first = _corpus_check_digests(corpus_dir)
+    second = _corpus_check_digests(corpus_dir)
+    assert first == second
+    for name, digest, ok, digest_match in first:
+        assert ok, f"{name} no longer reproduces its verdict"
+        assert digest_match, f"{name} replay digest drifted"
+
+
+def test_corpus_check_flags_a_stale_entry(tmp_path):
+    """An entry whose recorded verdict no longer reproduces (here: its
+    bound loosened to the planned budget) must fail the gate."""
+    report, _ = run_tiny(tiny_params(R_us=30_000))
+    artifact = dict(report["counterexamples"][0])
+    artifact["R_us"] = report["budget_us"]  # violation disappears
+    corpus_dir = str(tmp_path / "corpus")
+    write_corpus(corpus_dir, [artifact])
+    check = check_corpus(corpus_dir, lambda meta: small_system())
+    assert not check["ok"]
+    assert check["failed"] == 1
+    assert not check["entries"][0]["confirmed"]
+
+
+def test_corpus_write_is_idempotent(tmp_path):
+    report, _ = run_tiny(tiny_params(R_us=30_000))
+    confirmed = [a for a in report["counterexamples"]
+                 if a["replay_confirmed"]]
+    corpus_dir = str(tmp_path / "corpus")
+    first = write_corpus(corpus_dir, confirmed)
+    before = {p: open(p).read() for p in first}
+    second = write_corpus(corpus_dir, confirmed)
+    assert first == second
+    assert {p: open(p).read() for p in second} == before
+
+
+# ------------------------------------------------------------ checked-in corpus
+
+
+def test_checked_in_corpus_replays():
+    """Every committed ``corpus/`` entry still reproduces its recorded
+    verdict and digest — the same gate CI runs via
+    ``repro fuzz corpus-check``."""
+    import os
+
+    corpus_dir = os.path.join(os.path.dirname(__file__), "..", "corpus")
+    if not os.path.isdir(corpus_dir):
+        pytest.skip("no checked-in corpus")
+    entries = load_corpus(corpus_dir)
+    assert entries, "checked-in corpus must not be empty"
+    check = check_corpus(corpus_dir, lambda meta: small_system(),
+                         entries=entries)
+    assert check["ok"], check

@@ -66,23 +66,31 @@ def scenario_metrics(run: dict, metrics) -> dict:
     return out
 
 
-def check(runs: list, metrics, threshold_pct: float) -> list:
-    """Regression messages comparing the last run to the best baseline.
+def check(runs: list, metrics, threshold_pct: float) -> tuple:
+    """``(problems, new)`` comparing the last run to the best baseline.
 
     The baseline per (scenario, metric) is the *maximum* over all
     earlier entries — a slow run appended yesterday must not become an
-    excuse for being slow today. Scenarios absent from either side are
-    skipped (smoke entries measure a subset of the full sweep).
+    excuse for being slow today. A scenario the baseline measured but
+    the latest run didn't is skipped (smoke entries measure a subset of
+    the full sweep); a (scenario, metric) present **only** in the latest
+    run is returned in ``new`` so a freshly added trajectory column is
+    announced, never silently ignored. An empty or one-entry trajectory
+    has no baseline to regress against and passes cleanly.
     """
+    if not runs:
+        return [], []
     latest = runs[-1]
     problems = []
     if latest.get("all_traces_identical") is False:
         problems.append("latest entry: traces NOT byte-identical "
                         "(invariant broken — this is a bug, not a perf "
                         "regression)")
-    if len(runs) < 2:
-        return problems
     current = scenario_metrics(latest, metrics)
+    if len(runs) < 2:
+        new = [f"{scenario}: {metric}"
+               for scenario, metric in sorted(current)]
+        return problems, new
     baseline: dict = {}
     for run in runs[:-1]:
         for key, value in scenario_metrics(run, metrics).items():
@@ -97,7 +105,9 @@ def check(runs: list, metrics, threshold_pct: float) -> list:
             problems.append(
                 f"{scenario}: {metric} regressed {base} -> {value} "
                 f"(>{threshold_pct:.0f}% below baseline)")
-    return problems
+    new = [f"{scenario}: {metric}"
+           for scenario, metric in sorted(set(current) - set(baseline))]
+    return problems, new
 
 
 def main() -> int:
@@ -122,11 +132,18 @@ def main() -> int:
         return 2
 
     metrics = RATIO_METRICS + (ABSOLUTE_METRICS if args.absolute else ())
-    problems = check(runs, metrics, args.threshold)
+    problems, new = check(runs, metrics, args.threshold)
+    if not runs:
+        print("bench_check: trajectory has no entries yet; nothing to "
+              "compare")
+        return 0
     latest = runs[-1]
     print(f"bench_check: {len(runs)} trajectory entries; latest "
           f"{latest.get('git_sha', '?')} ({latest.get('date_utc', '?')}, "
           f"{latest.get('cases', 0)} cases)")
+    for entry in new:
+        print(f"bench_check: NEW {entry} (no earlier baseline; "
+              f"becomes one next run)")
     if problems:
         for p in problems:
             print(f"bench_check: FAIL {p}", file=sys.stderr)

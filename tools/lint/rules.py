@@ -37,12 +37,13 @@ façades themselves (``sim/time.py``, ``sim/clock.py``,
 ``perf/timing.py`` — the one module allowed to read the host clock,
 because offline planning cost is precisely what it measures.
 ``set-iteration`` and ``float-eq`` apply everywhere;
-``unsorted-node-iteration`` is scoped to ``repro/mc``, ``repro/faults``
-and the batched core (whose emission plans feed the event queue
-directly), ``engine-schedule-bypass`` to the layers that hold a
-simulator reference but do not own the engine (``repro/core``,
-``repro/mc``, ``repro/obs``, ``repro/faults``) plus the batched core's
-sanctioned transmit paths (which carry pragmas), and
+``unsorted-node-iteration`` is scoped to ``repro/mc``, ``repro/faults``,
+``repro/fuzz`` (campaign reports leak iteration order the same way
+``mc`` reports do) and the batched core (whose emission plans feed the
+event queue directly), ``engine-schedule-bypass`` to the layers that
+hold a simulator reference but do not own the engine (``repro/core``,
+``repro/mc``, ``repro/obs``, ``repro/faults``, ``repro/fuzz``) plus the
+batched core's sanctioned transmit paths (which carry pragmas), and
 ``allocation-in-loop`` to the batched-core hot modules
 (``repro/perf/batchcore``, ``repro/sim/message``).
 """
@@ -56,13 +57,14 @@ Hit = Tuple[int, int, str]
 
 #: Path fragments of the determinism-critical layers (posix-style).
 RESTRICTED_FRAGMENTS = ("repro/sim/", "repro/core/", "repro/perf/",
-                        "repro/obs/", "repro/mc/")
+                        "repro/obs/", "repro/mc/", "repro/fuzz/")
 #: Layers where node-id iteration order leaks into campaign reports.
 NODE_ORDER_FRAGMENTS = ("repro/mc/", "repro/faults/",
-                        "repro/perf/batchcore")
+                        "repro/perf/batchcore", "repro/fuzz/")
 #: Layers that hold a simulator reference but do not own the engine.
 SCHEDULE_CLIENT_FRAGMENTS = ("repro/core/", "repro/mc/", "repro/obs/",
-                             "repro/faults/", "repro/perf/batchcore")
+                             "repro/faults/", "repro/perf/batchcore",
+                             "repro/fuzz/")
 #: Hot-path modules whose steady-state loops must not allocate.
 HOT_LOOP_FRAGMENTS = ("repro/perf/batchcore", "repro/sim/message")
 #: Sanctioned wrapper modules, exempt from the scoped rules.

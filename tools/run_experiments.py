@@ -32,7 +32,11 @@ trajectories land next to the report:
 * ``BENCH_mc.json`` — aggregated bounded model-checking results
   (campaigns by expectation, paths explored, dedup hit-rate, pruning
   ratio, states/sec, replay-confirmation counts) from the
-  ``mc_stats.jsonl`` stream that E18 appends to.
+  ``mc_stats.jsonl`` stream that E18 appends to;
+* ``BENCH_fuzz.json`` — aggregated coverage-guided fuzzing results
+  (campaigns by expectation, scripts evaluated, coverage keys,
+  violating scripts found/minimised/replay-confirmed, runs/sec) from
+  the ``fuzz_stats.jsonl`` stream that E20 appends to.
 
 Usage:  python tools/run_experiments.py [--jobs N] [--only SUBSTR]
                 [--cache DIR | --no-cache] [--skip-run] [--skip-verify]
@@ -55,6 +59,7 @@ PLANNER_STATS = os.path.join(RESULTS, "planner_stats.jsonl")
 OBS_STATS = os.path.join(RESULTS, "obs_stats.jsonl")
 SIM_STATS = os.path.join(RESULTS, "sim_stats.jsonl")
 MC_STATS = os.path.join(RESULTS, "mc_stats.jsonl")
+FUZZ_STATS = os.path.join(RESULTS, "fuzz_stats.jsonl")
 CACHE_ENV_VAR = "REPRO_STRATEGY_CACHE"
 DEFAULT_CACHE = os.path.join(REPO, "benchmarks", ".strategy_cache")
 
@@ -82,6 +87,7 @@ ORDER = [
     "e17_online_throughput",
     "e18_model_check",
     "e19_batched_core",
+    "e20_fuzz",
 ]
 
 
@@ -375,6 +381,48 @@ def aggregate_mc_stats() -> dict:
     }
 
 
+def aggregate_fuzz_stats() -> dict:
+    """Collapse E20's per-campaign jsonl into one fuzzing summary.
+
+    Groups campaigns by their expectation label: ``find`` campaigns (a
+    deliberately tightened recovery budget) must all surface at least
+    one minimised, replay-confirmed violating script, ``clean``
+    campaigns (the planned budget) must find none — the CI fuzz-smoke
+    job asserts both from this file.
+    """
+    records = _read_jsonl(FUZZ_STATS)
+    by_expect: dict = {}
+    for r in records:
+        entry = by_expect.setdefault(r.get("expect", "?"), {
+            "campaigns": 0,
+            "found": 0,
+            "scripts_evaluated": 0,
+            "coverage_keys": 0,
+            "violating_scripts": 0,
+            "counterexamples": 0,
+            "replay_confirmed": 0,
+            "best_runs_per_sec": 0.0,
+        })
+        entry["campaigns"] += 1
+        entry["found"] += 1 if r.get("found") else 0
+        for col in ("scripts_evaluated", "violating_scripts",
+                    "counterexamples", "replay_confirmed"):
+            entry[col] += r.get(col, 0)
+        entry["coverage_keys"] = max(entry["coverage_keys"],
+                                     r.get("coverage_keys", 0))
+        entry["best_runs_per_sec"] = max(
+            entry["best_runs_per_sec"],
+            round(r.get("runs_per_sec") or 0.0, 1))
+    return {
+        "campaigns": len(records),
+        "scripts_evaluated": sum(r.get("scripts_evaluated", 0)
+                                 for r in records),
+        "by_expectation": {k: by_expect[k] for k in sorted(by_expect)},
+        "experiments_seen": sorted({r.get("experiment", "?")
+                                    for r in records}),
+    }
+
+
 def write_json(path: str, payload: dict) -> None:
     tmp = path + ".tmp"
     with open(tmp, "w") as f:
@@ -501,8 +549,9 @@ def main() -> int:
                   file=sys.stderr)
             return 2
         os.makedirs(RESULTS, exist_ok=True)
-        # Fresh planning/obs/sim/mc-stats streams for this suite run.
-        for stream in (PLANNER_STATS, OBS_STATS, SIM_STATS, MC_STATS):
+        # Fresh planning/obs/sim/mc/fuzz-stats streams for this run.
+        for stream in (PLANNER_STATS, OBS_STATS, SIM_STATS, MC_STATS,
+                       FUZZ_STATS):
             with open(stream, "w"):
                 pass
         print(f"running {len(files)} benchmark shards "
@@ -522,10 +571,13 @@ def main() -> int:
                   "(tracked file — commit it to extend the baseline)")
         write_json(os.path.join(RESULTS, "BENCH_mc.json"),
                    aggregate_mc_stats())
+        write_json(os.path.join(RESULTS, "BENCH_fuzz.json"),
+                   aggregate_fuzz_stats())
         print(f"suite: {suite['total_wall_s']}s wall over "
               f"{len(files)} shards; perf trajectory in "
               f"BENCH_suite.json / BENCH_planner.json / "
-              f"BENCH_obs.json / BENCH_sim.json / BENCH_mc.json")
+              f"BENCH_obs.json / BENCH_sim.json / BENCH_mc.json / "
+              f"BENCH_fuzz.json")
         failed = [s for s in suite["experiments"] if s["returncode"] != 0]
         if failed:
             print("benchmark shards failed: "

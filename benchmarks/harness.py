@@ -53,6 +53,13 @@ MC_STATS_PATH = os.path.join(RESULTS_DIR, "mc_stats.jsonl")
 #: ``tools/run_experiments.py`` aggregates it into ``BENCH_fuzz.json``.
 FUZZ_STATS_PATH = os.path.join(RESULTS_DIR, "fuzz_stats.jsonl")
 
+#: Per-scenario static-bound soundness/tightness stats (timelines
+#: checked, dominance verdict, per-class tightness ratios), appended by
+#: :func:`record_bounds` from the E21 benchmark;
+#: ``tools/run_experiments.py`` folds it into the *committed*
+#: ``BENCH_bounds.json`` trajectory that ``tools/bench_check.py`` gates.
+BOUNDS_STATS_PATH = os.path.join(RESULTS_DIR, "bounds_stats.jsonl")
+
 
 def harness_cache_dir() -> Optional[str]:
     """The strategy-cache directory the benchmarks share.
@@ -125,6 +132,13 @@ def record_fuzz(row: dict, label: Optional[str] = None) -> None:
     if label is None:
         label = os.environ.get("PYTEST_CURRENT_TEST", "adhoc").split(" ")[0]
     append_jsonl(FUZZ_STATS_PATH, {"experiment": label, **row})
+
+
+def record_bounds(row: dict, label: Optional[str] = None) -> None:
+    """Append one scenario's static-bound stats to the bounds stream."""
+    if label is None:
+        label = os.environ.get("PYTEST_CURRENT_TEST", "adhoc").split(" ")[0]
+    append_jsonl(BOUNDS_STATS_PATH, {"experiment": label, **row})
 
 
 def write_result(name: str, text: str) -> None:

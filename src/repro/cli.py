@@ -213,6 +213,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="treat warnings as errors")
     verify.add_argument("--rules", action="store_true",
                         help="print the rule catalogue and exit")
+    verify.add_argument("--waive", action="append", default=[],
+                        metavar="RULE[:SUBJECT]",
+                        help="drop findings of RULE (optionally only for "
+                             "SUBJECT) before the verdict; repeatable. "
+                             "Use to accept a documented hazard without "
+                             "giving up --strict for everything else")
+
+    bounds = sub.add_parser(
+        "bounds", help="analytic worst-case recovery bounds (Layer 4) "
+                       "per fault class and mode, vs the planned budget")
+    common(bounds)
+    bounds.add_argument("--R", type=float, default=None, dest="R",
+                        metavar="SECONDS",
+                        help="pin the promised recovery bound R "
+                             "(default: the computed budget); pinning "
+                             "makes bound.exceeds-budget fatal")
+    bounds.add_argument("--json", metavar="FILE", default=None,
+                        help="export the bounds report as JSON")
 
     trace = sub.add_parser(
         "trace", help="render a saved observability report")
@@ -464,8 +482,11 @@ def cmd_verify(args) -> int:
 
     workload = WORKLOADS[args.workload]()
     topology = make_topology(args.topology, args.bandwidth)
+    config = config_from_args(args)
+    budget = None
     if args.strategy:
         from .core.planner import strategy_from_json
+        from .sched import LaneModel
         try:
             with open(args.strategy) as f:
                 strategy = strategy_from_json(f.read())
@@ -477,21 +498,58 @@ def cmd_verify(args) -> int:
             topology.place_endpoints_round_robin(workload.sources,
                                                  workload.sinks)
         router = Router(topology)
+        lane_model = LaneModel(topology, config.lanes)
         origin = args.strategy
     else:
-        system = BTRSystem(workload, topology, config_from_args(args))
+        system = BTRSystem(workload, topology, config)
         system.prepare()
         strategy = system.strategy
         router = system.router
+        lane_model = system.lane_model
+        budget = system.budget
         origin = "freshly planned"
         if system.plan_stats is not None and system.plan_stats.cache_hit:
             origin = "from cache"
 
-    report = verify_strategy(strategy, topology, router=router)
+    report = verify_strategy(strategy, topology, router=router,
+                             config=config, lane_model=lane_model,
+                             budget=budget)
+    if args.waive:
+        report = report.waive(args.waive)
     print(report.render(
         title=(f"repro verify: {len(strategy)} plans, f={strategy.f} "
                f"({args.workload} on {args.topology}, {origin})")))
     return report.exit_code(strict=args.strict)
+
+
+def cmd_bounds(args) -> int:
+    from .verify.bounds import compute_bounds
+
+    workload = WORKLOADS[args.workload]()
+    topology = make_topology(args.topology, args.bandwidth)
+    system = BTRSystem(workload, topology, config_from_args(args))
+    system.prepare()
+    # Pin R on the *analysis* config only: prepare() rejects a pinned
+    # R the budget cannot meet, but the whole point of
+    # ``repro bounds --R`` is to report how far an aspirational R
+    # falls short, so the comparison happens after planning.
+    bounds_config = system.config
+    if args.R is not None:
+        from dataclasses import replace
+        bounds_config = replace(system.config, R_us=seconds(args.R))
+    report = compute_bounds(system.strategy, system.topology,
+                            system.lane_model, bounds_config,
+                            budget=system.budget)
+    print(report.render(
+        title=(f"repro bounds: f={report.f}, period={report.period_us}us "
+               f"({args.workload} on {args.topology})")))
+    if args.json:
+        import json
+        with open(args.json, "w") as f:
+            json.dump(report.to_dict(), f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"bounds report written to {args.json}")
+    return 1 if report.exceeding() else 0
 
 
 def cmd_compare(args) -> int:
@@ -807,6 +865,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": cmd_run,
         "compare": cmd_compare,
         "verify": cmd_verify,
+        "bounds": cmd_bounds,
         "trace": cmd_trace,
         "check": cmd_check,
         "fuzz": cmd_fuzz,

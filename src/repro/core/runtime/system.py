@@ -199,9 +199,13 @@ class BTRSystem:
         if strict:
             # Imported lazily: repro.verify depends on the planner layer,
             # and nothing on the non-strict path should pay for it.
+            # Config + lane model switch on the Layer-4 ``bound.*`` rules
+            # (analytic recovery bounds vs. the promised R).
             from ...verify import require_clean, verify_strategy
             require_clean(verify_strategy(self.strategy, self.topology,
-                                          router=self.router))
+                                          router=self.router,
+                                          config=self.config,
+                                          lane_model=self.lane_model))
         self.budget = compute_budget(self.strategy, self.topology,
                                      self.lane_model, self.router,
                                      self.config, metrics=self.metrics)

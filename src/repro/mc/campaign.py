@@ -70,6 +70,14 @@ class CheckParams:
     k: int = 1
     #: Sleep-set pruning of commuting deliveries.
     prune: bool = True
+    #: Explore cells in ascending static-bound margin (Layer-4 analytic
+    #: bound vs R): cells whose fault class sits closest to — or beyond —
+    #: the bound are explored first, cells far inside R last. Pure
+    #: execution detail: the merged report is byte-identical either way
+    #: (results are re-merged in canonical cell order), but a violating
+    #: campaign surfaces its first counterexample much earlier. E18
+    #: measures the effect.
+    order_by_margin: bool = True
     #: Explore the fault-free cell too.
     include_fault_free: bool = True
     #: Worker processes for the cell fan-out.
@@ -87,6 +95,12 @@ class CheckStats:
     wall_s: float = 0.0
     paths: int = 0
     states_per_sec: float = 0.0
+    #: 1-based rank, in *exploration* order, of the first explored cell
+    #: with a violating path (0 = campaign found none). The margin
+    #: ordering exists to drive this toward 1.
+    cells_to_first_violation: int = 0
+    #: Wall-clock seconds until that cell's result was in hand.
+    first_violation_s: float = 0.0
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -117,6 +131,40 @@ def build_cells(victims: List[str], period: int,
             for inject_at in times:
                 cells.append(Cell(victim, kind, inject_at))
     return cells
+
+
+def exploration_order(system, cells: List[Cell], R_us: int) -> List[int]:
+    """Cell indices sorted by ascending static-bound margin.
+
+    The Layer-4 analyzer prices each (victim, fault class) pair's worst
+    recovery from the prepared artifacts alone; ``R - bound`` is then a
+    free prediction of how close each cell sits to a recovery-bound
+    violation. Tight or negative margins go first (a violating campaign
+    exhibits its witness almost immediately), comfortable cells and the
+    fault-free cell go last. Ties — and anything the analyzer makes no
+    claim about — fall back to canonical cell order, so the ordering is
+    deterministic for a given prepared system.
+    """
+    from ..verify.bounds import compute_bounds
+    report = compute_bounds(system.strategy, system.topology,
+                            system.lane_model, system.config,
+                            budget=system.budget)
+    far_last = 10 ** 12
+
+    def margin(cell: Cell) -> int:
+        if cell.fault_free:
+            return far_last  # nothing to recover from: explore last
+        bound = report.worst_for_kind(cell.kind)
+        if bound is None:
+            return 0  # out-of-scope kind: no claim, explore early
+        total = bound.victim_totals.get(cell.victim)
+        if total is None:
+            # No finite bound for this victim (conviction statically
+            # unreachable): the most suspicious cell there is.
+            return -far_last
+        return R_us - total
+
+    return sorted(range(len(cells)), key=lambda i: (margin(cells[i]), i))
 
 
 def _explore_one(system, cell: Cell, params: CheckParams,
@@ -204,7 +252,21 @@ def run_campaign(workload, topology, config,
 
     workers = max(1, resolved.workers)
     stats = CheckStats(workers=workers)
-    results: Optional[List[dict]] = None
+    # Exploration order is an execution detail (like the worker count):
+    # tight-margin cells run first so violations surface early, but the
+    # results are re-merged in canonical cell order below, keeping the
+    # report byte-identical whatever the ordering or worker count.
+    if resolved.order_by_margin and len(cells) > 1:
+        order = exploration_order(system, cells, resolved.R_us)
+    else:
+        order = list(range(len(cells)))
+
+    def note_first_violation(explored: List[dict]) -> None:
+        if stats.cells_to_first_violation == 0 and explored[-1]["violating"]:
+            stats.cells_to_first_violation = len(explored)
+            stats.first_violation_s = watch.elapsed_s()
+
+    ordered: Optional[List[dict]] = None
     if workers > 1 and len(cells) > 1:
         # The context is pickled *before* any run attaches handler
         # closures to topology nodes, which keeps it picklable.
@@ -214,14 +276,22 @@ def run_campaign(workload, topology, config,
                     max_workers=workers,
                     initializer=_init_worker,
                     initargs=(context,)) as pool:
-                results = list(pool.map(
-                    _cell_task, [cell.to_dict() for cell in cells]))
+                ordered = []
+                for payload in pool.map(
+                        _cell_task,
+                        [cells[i].to_dict() for i in order]):
+                    ordered.append(payload)
+                    note_first_violation(ordered)
         except (OSError, ValueError, ImportError):
             stats.pool_fallback = True
-            results = None
-    if results is None:
-        results = [_explore_one(system, cell, resolved, meta)
-                   for cell in cells]
+            ordered = None
+    if ordered is None:
+        ordered = []
+        for i in order:
+            ordered.append(_explore_one(system, cells[i], resolved, meta))
+            note_first_violation(ordered)
+    by_index = dict(zip(order, ordered))
+    results = [by_index[i] for i in range(len(cells))]
 
     totals = {
         "cells": len(results),
@@ -239,6 +309,7 @@ def run_campaign(workload, topology, config,
     # the stats, never in the byte-compared report.
     params_payload = asdict(resolved)
     del params_payload["workers"]
+    del params_payload["order_by_margin"]
     report = {
         "version": MC_REPORT_VERSION,
         "meta": dict(meta or {}),

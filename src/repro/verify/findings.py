@@ -76,6 +76,12 @@ RULES: Dict[str, str] = {
                          "node to fetch state from",
     "mode.fetch-unroutable": "a state fetch's source has no route to the "
                              "fetching node in the new pattern",
+    "bound.exceeds-budget": "a fault class's analytic worst-case recovery "
+                            "exceeds the promised R",
+    "bound.unachievable": "a victim's silent fault can never be convicted "
+                          "from the mode's declaration structure",
+    "bound.phase-dominates-r": "one recovery phase's bound alone consumes "
+                               "most of R",
 }
 
 
@@ -118,6 +124,28 @@ class Report:
         return (f"verification found {len(self.errors)} error(s), "
                 f"{len(self.warnings)} warning(s) across "
                 f"{len(self.rules_violated())} rule(s)")
+
+    def waive(self, waivers: Iterable[str]) -> "Report":
+        """A new report without the findings the waivers cover.
+
+        A waiver is ``"rule"`` (waives the whole rule) or
+        ``"rule:subject"`` (waives the rule for one subject only) — the
+        grammar the CLI's repeatable ``--waive`` flag accepts. Waiving
+        is deliberate and visible: CI configs carry the exact waiver
+        strings next to the scenario they excuse, so an accepted hazard
+        is documented where it is accepted, not silenced globally.
+        """
+        parsed = []
+        for waiver in waivers:
+            rule, _, subject = waiver.partition(":")
+            parsed.append((rule, subject or None))
+
+        def waived(finding: Finding) -> bool:
+            return any(finding.rule == rule
+                       and (subject is None or finding.subject == subject)
+                       for rule, subject in parsed)
+
+        return Report(f for f in self.findings if not waived(f))
 
     def render(self, title: str = "Static verification") -> str:
         """Human-readable report (table of findings + summary line)."""

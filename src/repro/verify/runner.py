@@ -51,8 +51,19 @@ def verify_strategy(
     topology: Topology,
     router: Optional[Router] = None,
     headroom: float = ReservationManager.DEFAULT_HEADROOM,
+    config=None,
+    lane_model=None,
+    budget=None,
 ) -> Report:
-    """Statically verify a full strategy: every plan plus the mode graph."""
+    """Statically verify a full strategy: every plan plus the mode graph.
+
+    With both ``config`` and ``lane_model`` the ``bound.*`` rule family
+    runs too — the Layer-4 analyzer needs the runtime config (thresholds,
+    crypto costs, R) and the lane schedule to price recovery, which the
+    plan artifacts alone don't carry. Callers that only have the plans
+    (plan-library linting, round-trip checks) simply get the first three
+    layers, exactly as before.
+    """
     report = Report()
     for pattern in strategy.patterns():
         plan = strategy.plan_for(pattern)
@@ -60,6 +71,10 @@ def verify_strategy(
         report.extend(check_placement(plan, topology))
         report.extend(check_routes(plan, topology, headroom=headroom))
     report.extend(check_mode_graph(strategy, topology, router=router))
+    if config is not None and lane_model is not None:
+        from .bounds.rules import bounds_findings
+        report.extend(bounds_findings(strategy, topology, lane_model,
+                                      config, budget=budget))
     return report
 
 

@@ -359,3 +359,82 @@ def test_batchcore_is_in_schedule_and_node_order_scope():
         == ["engine-schedule-bypass"]
     assert rules_hit("pairs = [v for v in table.values()]\n",
                      path=BATCHCORE_PATH) == ["unsorted-node-iteration"]
+
+
+# ------------------------------------------- float-time-arithmetic
+
+BOUNDS_PATH = "src/repro/verify/bounds/analyzer.py"
+
+
+def test_float_time_arithmetic_flags_division_and_float_literals():
+    src = """\
+        def detect(period, slack):
+            mid = period / 2
+            padded = period + 1.5
+            return mid + padded
+    """
+    assert rules_hit(src, path=BOUNDS_PATH) == ["float-time-arithmetic"]
+
+
+def test_float_time_arithmetic_accepts_integer_us():
+    src = """\
+        def detect(period, slack):
+            mid = period // 2
+            padded = period + slack * 3
+            return -(-padded // 2)
+    """
+    assert rules_hit(src, path=BOUNDS_PATH) == []
+
+
+def test_float_time_arithmetic_scope_and_pragma():
+    src = "ratio = bound / empirical\n"
+    # Only the bounds package is in scope: float arithmetic is fine in,
+    # say, the analysis layer's reporting code.
+    assert rules_hit(src, path=ANALYSIS_PATH) == []
+    assert rules_hit(src, path=SIM_PATH) == []
+    suppressed = ("ratio = bound / empirical"
+                  "  # lint: ignore[float-time-arithmetic]\n")
+    assert lint_source(suppressed, BOUNDS_PATH, ALL_RULES) == []
+
+
+# --------------------------------------------------- JSON output
+
+
+def test_violations_carry_column_numbers():
+    src = textwrap.dedent("""\
+        import time
+        def now():
+            return 1 + time.time()
+    """)
+    violations = lint_source(src, SIM_PATH, ALL_RULES)
+    assert violations and violations[0].col > 0
+    payload = violations[0].to_dict()
+    assert set(payload) == {"path", "line", "col", "rule", "message"}
+    assert payload["col"] == violations[0].col
+
+
+def test_main_format_json(tmp_path, capsys):
+    import json
+
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "dirty.py").write_text("import random\nx = random.random()\n")
+    assert main(["--format=json", str(tmp_path)]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["checked_files"] == 1
+    [violation] = report["violations"]
+    assert violation["rule"] == "unseeded-random"
+    assert violation["line"] == 2 and violation["col"] > 0
+
+    (pkg / "dirty.py").write_text("x = 1\n")
+    assert main(["--format=json", str(tmp_path)]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report == {"checked_files": 1, "violations": []}
+
+
+def test_main_list_rules_json(capsys):
+    import json
+
+    assert main(["--list-rules", "--format=json"]) == 0
+    catalogue = json.loads(capsys.readouterr().out)
+    assert {r["id"] for r in catalogue} == {r.id for r in ALL_RULES}

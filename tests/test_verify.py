@@ -84,7 +84,7 @@ def test_rule_catalogue_families():
     assert RULES
     for rule_id in RULES:
         family, _, name = rule_id.partition(".")
-        assert family in ("sched", "place", "route", "mode")
+        assert family in ("sched", "place", "route", "mode", "bound")
         assert name
 
 

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Guard the BENCH_sim trajectory against performance regressions.
+"""Guard the tracked BENCH trajectories against regressions.
 
 ``benchmarks/results/BENCH_sim.json`` is a *tracked* trajectory: every
 suite run appends one entry (git sha, date, per-scenario speedups and
@@ -20,8 +20,20 @@ Two metric classes, treated differently:
 The invariant column is always enforced: an entry recording
 ``all_traces_identical: false`` fails regardless of thresholds.
 
+``benchmarks/results/BENCH_bounds.json`` is the second tracked
+trajectory (static recovery bounds, appended by full-grid E21 runs) and
+gets the same treatment with the polarity flipped:
+
+* **soundness** is an invariant — a latest entry whose ``all_sound`` is
+  false, or any scenario recording ``sound: false``, fails regardless
+  of thresholds;
+* **tightness ratios** (per scenario and fault class, bound over worst
+  empirical recovery) are *lower*-is-better: the baseline is the best
+  (smallest) earlier ratio and a >20% increase fails — a bound that
+  drifts looser certifies less while still passing soundness.
+
 Usage:  python tools/bench_check.py [--absolute] [--threshold PCT]
-                [--path FILE]
+                [--path FILE] [--bounds-path FILE]
 
 Exit codes: 0 ok (or fewer than two comparable entries), 1 regression or
 broken invariant, 2 unreadable trajectory.
@@ -37,6 +49,8 @@ import sys
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_PATH = os.path.join(REPO, "benchmarks", "results",
                             "BENCH_sim.json")
+DEFAULT_BOUNDS_PATH = os.path.join(REPO, "benchmarks", "results",
+                                   "BENCH_bounds.json")
 
 RATIO_METRICS = ("best_speedup_full", "best_speedup_milestones",
                  "best_speedup_batched")
@@ -110,11 +124,73 @@ def check(runs: list, metrics, threshold_pct: float) -> tuple:
     return problems, new
 
 
+def bounds_ratios(run: dict) -> dict:
+    """{(scenario, fault_class): tightness} for one bounds entry."""
+    out = {}
+    for scenario, entry in (run.get("by_scenario") or {}).items():
+        for fault_class, ratio in (entry.get("class_tightness")
+                                   or {}).items():
+            if ratio:
+                out[(scenario, fault_class)] = ratio
+    return out
+
+
+def check_bounds(runs: list, threshold_pct: float) -> tuple:
+    """``(problems, new)`` for the static-bounds trajectory.
+
+    Soundness is an unconditional invariant of the latest entry;
+    tightness ratios are lower-is-better, compared against the best
+    (smallest) earlier ratio per (scenario, class) — a loose run
+    appended yesterday must not become an excuse for being loose today.
+    """
+    if not runs:
+        return [], []
+    latest = runs[-1]
+    problems = []
+    if latest.get("all_sound") is False:
+        problems.append("latest bounds entry: soundness violated "
+                        "(an empirical recovery escaped its static "
+                        "bound — this is a bug, not a regression)")
+    for scenario, entry in sorted((latest.get("by_scenario")
+                                   or {}).items()):
+        if entry.get("sound") is False:
+            problems.append(f"{scenario}: static bound UNSOUND in "
+                            f"latest entry")
+    current = bounds_ratios(latest)
+    if len(runs) < 2:
+        new = [f"{scenario}: tightness[{fault_class}]"
+               for scenario, fault_class in sorted(current)]
+        return problems, new
+    baseline: dict = {}
+    for run in runs[:-1]:
+        for key, value in bounds_ratios(run).items():
+            baseline[key] = min(baseline.get(key, value), value)
+    ceiling = 1.0 + threshold_pct / 100.0
+    for key, base in sorted(baseline.items()):
+        value = current.get(key)
+        if value is None:
+            continue
+        if value > base * ceiling:
+            scenario, fault_class = key
+            problems.append(
+                f"{scenario}: tightness[{fault_class}] loosened "
+                f"{base} -> {value} (>{threshold_pct:.0f}% above "
+                f"baseline)")
+    new = [f"{scenario}: tightness[{fault_class}]"
+           for scenario, fault_class in sorted(set(current)
+                                               - set(baseline))]
+    return problems, new
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--path", default=DEFAULT_PATH, metavar="FILE",
-                        help="trajectory file (default: "
+                        help="sim trajectory file (default: "
                              "benchmarks/results/BENCH_sim.json)")
+    parser.add_argument("--bounds-path", default=DEFAULT_BOUNDS_PATH,
+                        metavar="FILE",
+                        help="static-bounds trajectory file (default: "
+                             "benchmarks/results/BENCH_bounds.json)")
     parser.add_argument("--threshold", type=float, default=20.0,
                         metavar="PCT",
                         help="allowed regression in percent (default 20)")
@@ -144,12 +220,32 @@ def main() -> int:
     for entry in new:
         print(f"bench_check: NEW {entry} (no earlier baseline; "
               f"becomes one next run)")
+    try:
+        bounds_runs = load_runs(args.bounds_path)
+    except (OSError, ValueError) as exc:
+        print(f"bench_check: cannot read bounds trajectory "
+              f"{args.bounds_path}: {exc}", file=sys.stderr)
+        return 2
+    bounds_problems, bounds_new = check_bounds(bounds_runs,
+                                               args.threshold)
+    problems += bounds_problems
+    if bounds_runs:
+        b_latest = bounds_runs[-1]
+        print(f"bench_check: {len(bounds_runs)} bounds entries; latest "
+              f"{b_latest.get('git_sha', '?')} "
+              f"({b_latest.get('date_utc', '?')}, "
+              f"{len(b_latest.get('by_scenario') or {})} scenarios, "
+              f"all_sound={b_latest.get('all_sound')})")
+    for entry in bounds_new:
+        print(f"bench_check: NEW {entry} (no earlier baseline; "
+              f"becomes one next run)")
     if problems:
         for p in problems:
             print(f"bench_check: FAIL {p}", file=sys.stderr)
         return 1
-    print(f"bench_check: OK (no metric more than "
-          f"{args.threshold:.0f}% below baseline)")
+    print(f"bench_check: OK (no sim metric more than "
+          f"{args.threshold:.0f}% below baseline; bounds sound, no "
+          f"tightness more than {args.threshold:.0f}% above baseline)")
     return 0
 
 

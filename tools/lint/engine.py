@@ -40,6 +40,10 @@ class Violation:
         return f"{self.path}:{self.line}:{self.col}: {self.rule}: " \
                f"{self.message}"
 
+    def to_dict(self) -> dict:
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "rule": self.rule, "message": self.message}
+
 
 def suppressed_rules(source_line: str) -> Optional[set]:
     """Rule ids suppressed by a ``# lint: ignore[...]`` pragma on the
@@ -116,11 +120,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="files or directories to lint (default: src)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text",
+                        help="output format: human-readable text "
+                             "(default) or a machine-readable JSON "
+                             "object (for CI annotation tooling)")
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule in ALL_RULES:
-            print(f"{rule.id}: {rule.description}")
+        if args.format == "json":
+            import json
+            print(json.dumps([{"id": r.id, "description": r.description}
+                              for r in ALL_RULES], indent=2))
+        else:
+            for rule in ALL_RULES:
+                print(f"{rule.id}: {rule.description}")
         return 0
 
     missing = [p for p in (args.paths or ["src"]) if not Path(p).exists()]
@@ -131,6 +145,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     files = iter_python_files(args.paths or ["src"])
     violations = lint_paths(args.paths or ["src"], rules=ALL_RULES)
+    if args.format == "json":
+        import json
+        print(json.dumps({
+            "checked_files": len(files),
+            "violations": [v.to_dict() for v in violations],
+        }, indent=2, sort_keys=True))
+        return 1 if violations else 0
     for violation in violations:
         print(violation)
     if violations:

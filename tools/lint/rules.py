@@ -29,6 +29,11 @@ numbers:
   display inside one of its loops is either a perf regression waiting
   to be measured or an intentional preallocation, and the pragma makes
   the author say which.
+* ``float-time-arithmetic`` — the static bounds analyzer's soundness
+  claim is over *integer microseconds*: a stray true division or float
+  literal in its arithmetic rounds a worst case down and quietly breaks
+  dominance. The deliberate float sites (tightness ratios, millisecond
+  display) carry pragmas saying so.
 
 The first two are scoped to ``src/repro/sim``, ``src/repro/core`` and
 ``src/repro/perf`` (the determinism-critical layers); the clock/RNG
@@ -67,6 +72,8 @@ SCHEDULE_CLIENT_FRAGMENTS = ("repro/core/", "repro/mc/", "repro/obs/",
                              "repro/fuzz/")
 #: Hot-path modules whose steady-state loops must not allocate.
 HOT_LOOP_FRAGMENTS = ("repro/perf/batchcore", "repro/sim/message")
+#: Modules whose time arithmetic must stay in integer microseconds.
+INT_TIME_FRAGMENTS = ("repro/verify/bounds",)
 #: Sanctioned wrapper modules, exempt from the scoped rules.
 EXEMPT_SUFFIXES = ("repro/sim/time.py", "repro/sim/random.py",
                    "repro/sim/clock.py", "repro/perf/timing.py")
@@ -377,6 +384,47 @@ class AllocationInLoopRule(Rule):
                            f"{what} inside a hot-path loop")
 
 
+class FloatTimeArithmeticRule(Rule):
+    """Keep the static-bounds analyzer in integer microseconds.
+
+    The analyzer's dominance claim is an integer inequality; one true
+    division in a bound formula rounds the worst case *down* and makes
+    the claim silently false. Flags true division (``/``) and float
+    literals appearing in arithmetic. The sanctioned float sites —
+    tightness ratios and millisecond rendering — carry a
+    ``# lint: ignore[float-time-arithmetic]`` pragma.
+    """
+
+    id = "float-time-arithmetic"
+    description = ("true division or float literals in the bounds "
+                   "package drift from the integer-µs discipline and "
+                   "can round a worst case down; use //, _ceil_div, "
+                   "and integer constants (ratio/display sites carry "
+                   "a pragma)")
+
+    def applies_to(self, path: str) -> bool:
+        posix = _posix(path)
+        return any(fragment in posix for fragment in INT_TIME_FRAGMENTS)
+
+    def check(self, tree: ast.AST) -> Iterator[Hit]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            if isinstance(node.op, ast.Div):
+                yield (node.lineno, node.col_offset,
+                       "true division (/) produces a float; use // or "
+                       "_ceil_div for time quantities")
+            elif isinstance(node.op, (ast.Add, ast.Sub, ast.Mult,
+                                      ast.FloorDiv, ast.Mod)):
+                for side in (node.left, node.right):
+                    if (isinstance(side, ast.Constant)
+                            and isinstance(side.value, float)):
+                        yield (node.lineno, node.col_offset,
+                               f"float literal {side.value!r} in time "
+                               f"arithmetic")
+                        break
+
+
 ALL_RULES = (
     WallClockRule(),
     UnseededRandomRule(),
@@ -385,6 +433,7 @@ ALL_RULES = (
     UnsortedNodeIterationRule(),
     EngineScheduleBypassRule(),
     AllocationInLoopRule(),
+    FloatTimeArithmeticRule(),
 )
 
 __all__ = [
@@ -392,6 +441,7 @@ __all__ = [
     "AllocationInLoopRule",
     "EngineScheduleBypassRule",
     "FloatEqualityRule",
+    "FloatTimeArithmeticRule",
     "Rule",
     "SetIterationRule",
     "UnseededRandomRule",

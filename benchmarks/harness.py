@@ -60,6 +60,14 @@ FUZZ_STATS_PATH = os.path.join(RESULTS_DIR, "fuzz_stats.jsonl")
 #: ``BENCH_bounds.json`` trajectory that ``tools/bench_check.py`` gates.
 BOUNDS_STATS_PATH = os.path.join(RESULTS_DIR, "bounds_stats.jsonl")
 
+#: Per-case geo-sharding stats (wall clocks for the single-loop
+#: reference vs the sharded geo engine, shard window/lookahead
+#: counters, pool sweep speedups, byte-identity verdicts), appended by
+#: :func:`record_geo` from the E22 benchmark; ``tools/run_experiments.py``
+#: folds it into the *committed* ``BENCH_geo.json`` trajectory that
+#: ``tools/bench_check.py`` gates.
+GEO_STATS_PATH = os.path.join(RESULTS_DIR, "geo_stats.jsonl")
+
 
 def harness_cache_dir() -> Optional[str]:
     """The strategy-cache directory the benchmarks share.
@@ -139,6 +147,13 @@ def record_bounds(row: dict, label: Optional[str] = None) -> None:
     if label is None:
         label = os.environ.get("PYTEST_CURRENT_TEST", "adhoc").split(" ")[0]
     append_jsonl(BOUNDS_STATS_PATH, {"experiment": label, **row})
+
+
+def record_geo(row: dict, label: Optional[str] = None) -> None:
+    """Append one geo-sharding case's stats to the geo stream."""
+    if label is None:
+        label = os.environ.get("PYTEST_CURRENT_TEST", "adhoc").split(" ")[0]
+    append_jsonl(GEO_STATS_PATH, {"experiment": label, **row})
 
 
 def write_result(name: str, text: str) -> None:

@@ -71,6 +71,7 @@ from .net import (
     bus_topology,
     dual_star_topology,
     full_mesh_topology,
+    geo_topology,
     line_topology,
     mesh_topology,
     ring_topology,
@@ -83,6 +84,7 @@ from .workload import (
     industrial_workload,
     pipeline_workload,
     power_grid_workload,
+    stretched_workload,
 )
 
 WORKLOADS: Dict[str, Callable] = {
@@ -103,7 +105,8 @@ BASELINES = {
 
 
 def make_topology(spec: str, bandwidth: float):
-    """Parse a topology spec like ``fullmesh:7``, ``mesh:3x3``, ``ring:6``."""
+    """Parse a topology spec like ``fullmesh:7``, ``mesh:3x3``,
+    ``geo:3x8`` (regions x nodes-per-region), ``ring:6``."""
     kind, _, arg = spec.partition(":")
     builders = {
         "fullmesh": lambda a: full_mesh_topology(int(a), bandwidth=bandwidth),
@@ -115,6 +118,8 @@ def make_topology(spec: str, bandwidth: float):
                                                  bandwidth=bandwidth),
         "mesh": lambda a: mesh_topology(*map(int, a.split("x")),
                                         bandwidth=bandwidth),
+        "geo": lambda a: geo_topology(*map(int, a.split("x")),
+                                      bandwidth=bandwidth),
     }
     try:
         return builders[kind](arg or "7")
@@ -165,6 +170,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "periodic traffic + message pools; "
                             "behaviour-preserving, requires the fast "
                             "path — see docs/PERFORMANCE.md)")
+        p.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="enable the region-sharded event core with N "
+                            "heap shards (0 = one per region; needs a "
+                            "geo topology; behaviour-preserving — full "
+                            "traces are byte-identical, E22 gates it)")
+        p.add_argument("--stretch", type=int, default=1, metavar="K",
+                       help="run the workload at Kx slower periods and "
+                            "deadlines (geo deployments: WAN latency "
+                            "must fit inside control deadlines)")
         p.add_argument("--trace-mode", choices=list(TRACE_MODES),
                        default="full",
                        help="trace recording fidelity: full keeps every "
@@ -358,6 +372,16 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def workload_from_args(args):
+    """The workload selected by the common CLI flags, stretched to
+    ``--stretch``x periods/deadlines (see
+    :func:`~repro.workload.stretched_workload`)."""
+    workload = WORKLOADS[args.workload]()
+    if getattr(args, "stretch", 1) > 1:
+        workload = stretched_workload(workload, args.stretch)
+    return workload
+
+
 def config_from_args(args) -> BTRConfig:
     """The BTRConfig encoded by the common CLI flags."""
     cache = None
@@ -370,15 +394,23 @@ def config_from_args(args) -> BTRConfig:
     if args.batched and args.no_fastpath:
         raise SystemExit("--batched requires the fast path "
                          "(drop --no-fastpath)")
+    sharded = args.shards is not None
+    if sharded and args.no_fastpath:
+        raise SystemExit("--shards requires the fast path "
+                         "(drop --no-fastpath)")
+    if sharded and args.shards < 0:
+        raise SystemExit("--shards must be >= 0 (0 = one per region)")
     return BTRConfig(f=args.f, seed=args.seed, planner_jobs=args.jobs,
                      cache=cache, symmetry_memo=args.memo,
                      runtime_fastpath=not args.no_fastpath,
                      trace_mode=args.trace_mode,
-                     batched_core=args.batched)
+                     batched_core=args.batched,
+                     sharded_core=sharded,
+                     shards=args.shards if sharded else 0)
 
 
 def cmd_plan(args) -> int:
-    workload = WORKLOADS[args.workload]()
+    workload = workload_from_args(args)
     topology = make_topology(args.topology, args.bandwidth)
     system = BTRSystem(workload, topology, config_from_args(args))
     budget = system.prepare()
@@ -421,7 +453,7 @@ def cmd_plan(args) -> int:
 
 
 def cmd_run(args) -> int:
-    workload = WORKLOADS[args.workload]()
+    workload = workload_from_args(args)
     topology = make_topology(args.topology, args.bandwidth)
     system = BTRSystem(workload, topology, config_from_args(args))
     budget = system.prepare()
@@ -480,7 +512,7 @@ def cmd_verify(args) -> int:
             print(f"{rule_id}: {RULES[rule_id]}")
         return 0
 
-    workload = WORKLOADS[args.workload]()
+    workload = workload_from_args(args)
     topology = make_topology(args.topology, args.bandwidth)
     config = config_from_args(args)
     budget = None
@@ -525,7 +557,7 @@ def cmd_verify(args) -> int:
 def cmd_bounds(args) -> int:
     from .verify.bounds import compute_bounds
 
-    workload = WORKLOADS[args.workload]()
+    workload = workload_from_args(args)
     topology = make_topology(args.topology, args.bandwidth)
     system = BTRSystem(workload, topology, config_from_args(args))
     system.prepare()
@@ -556,7 +588,7 @@ def cmd_compare(args) -> int:
     fault_at = seconds(args.fault_at)
     rows = []
 
-    workload = WORKLOADS[args.workload]()
+    workload = workload_from_args(args)
     topology = make_topology(args.topology, args.bandwidth)
     system = BTRSystem(workload, topology, config_from_args(args))
     system.prepare()
@@ -565,7 +597,7 @@ def cmd_compare(args) -> int:
     rows.append(_compare_row("btr", result, args))
 
     for name, cls in BASELINES.items():
-        workload = WORKLOADS[args.workload]()
+        workload = workload_from_args(args)
         topology = make_topology(args.topology, args.bandwidth)
         baseline = cls(workload, topology, f=args.f, seed=args.seed)
         baseline.prepare()
@@ -678,7 +710,7 @@ def cmd_check(args) -> int:
     )
     meta = {"workload": args.workload, "topology": args.topology,
             "bandwidth": args.bandwidth, "f": args.f, "seed": args.seed}
-    workload = WORKLOADS[args.workload]()
+    workload = workload_from_args(args)
     topology = make_topology(args.topology, args.bandwidth)
     report, stats = run_campaign(workload, topology,
                                  config_from_args(args),
@@ -768,7 +800,7 @@ def _fuzz_campaign(args) -> int:
     )
     meta = {"workload": args.workload, "topology": args.topology,
             "bandwidth": args.bandwidth, "f": args.f, "seed": args.seed}
-    workload = WORKLOADS[args.workload]()
+    workload = workload_from_args(args)
     topology = make_topology(args.topology, args.bandwidth)
     report, stats = run_fuzz_campaign(workload, topology,
                                       config_from_args(args),

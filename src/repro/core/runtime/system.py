@@ -324,8 +324,27 @@ class BTRSystem:
         period = self.workload.period
         duration = n_periods * period
 
-        self.sim = Simulator(seed=self.config.seed,
-                             fast_heap=self.config.runtime_fastpath)
+        if self.config.sharded_core:
+            # Imported lazily like the other perf layers: flat runs must
+            # not pay for the sharded executor.
+            from ...perf.shardcore import (
+                ShardedSimulator,
+                guarded_delivery_hook,
+                plan_shards,
+            )
+            plan = plan_shards(self.topology, self.config.shards)
+            self.sim = ShardedSimulator(seed=self.config.seed,
+                                        node_shard=plan.node_shard,
+                                        shard_count=plan.shard_count,
+                                        lookahead_us=plan.lookahead_us)
+            if delivery_hook is not None:
+                # Hooks compose exactly with sharded execution as long
+                # as they honour the may-only-delay contract; enforce it
+                # at the offending call instead of diverging silently.
+                delivery_hook = guarded_delivery_hook(delivery_hook)
+        else:
+            self.sim = Simulator(seed=self.config.seed,
+                                 fast_heap=self.config.runtime_fastpath)
         self.sim.delivery_hook = delivery_hook
         self.trace = Trace(mode=self.config.trace_mode)
         self.directory.begin_run()
@@ -382,12 +401,18 @@ class BTRSystem:
         script = self._resolve_script(adversary)
         for injection in script:
             agent = self.agents[injection.node]
-            self.sim.call_at(
+            # Routed to the node's own heap shard so the behaviour
+            # installation (and everything it schedules) stays region-
+            # local; the base engine ignores the shard argument.
+            self.sim.call_at_in(
+                self.sim.shard_of(injection.node),
                 injection.time,
                 lambda a=agent, b=injection.behavior: a.compromise(b),
             )
+        scripted_loss = []
         for at, link_id, loss in (link_script or []):
             link = self.topology.links[link_id]
+            scripted_loss.append((link, link.loss_probability))
 
             def degrade(l=link, p=loss, lid=link_id) -> None:
                 l.loss_probability = p
@@ -398,14 +423,25 @@ class BTRSystem:
 
             self.sim.call_at(at, degrade)
 
-        def tick(k: int) -> None:
-            for node_id in sorted(self.agents):
-                self.agents[node_id].on_period_start(k)
-            if k + 1 < n_periods:
-                self.sim.call_at((k + 1) * period, lambda: tick(k + 1))
+        if self.sim.n_shards > 1:
+            self._start_sharded_ticks(n_periods, period)
+        else:
+            def tick(k: int) -> None:
+                for node_id in sorted(self.agents):
+                    self.agents[node_id].on_period_start(k)
+                if k + 1 < n_periods:
+                    self.sim.call_at((k + 1) * period,
+                                     lambda: tick(k + 1))
 
-        self.sim.call_at(0, lambda: tick(0))
-        self.sim.run_until(duration)
+            self.sim.call_at(0, lambda: tick(0))
+        try:
+            self.sim.run_until(duration)
+        finally:
+            # Link scripts mutate Link objects that outlive the run (the
+            # topology is shared across sweep siblings); restore the
+            # pre-run residual loss so runs stay order-independent.
+            for link, pristine in scripted_loss:
+                link.loss_probability = pristine
 
         if self._tally_sent:
             self.trace.tally(MessageSent, self._tally_sent)
@@ -434,6 +470,14 @@ class BTRSystem:
         self.metrics.set_gauge("sim_events_executed",
                                self.sim.events_executed)
         self.metrics.set_gauge("trace_events", len(self.trace))
+        if self.config.sharded_core:
+            self.metrics.set_gauge("shards", self.sim.n_shards)
+            self.metrics.set_gauge("shard_lookahead_us",
+                                   self.sim.lookahead_us)
+            self.metrics.set_gauge("shard_windows",
+                                   self.sim.shard_windows)
+            self.metrics.set_gauge("cross_shard_events",
+                                   self.sim.cross_shard_events)
         self.metrics.inc("crypto_hmac", value=self.directory.signs,
                          op="sign")
         self.metrics.inc("crypto_hmac", value=self.directory.verifies,
@@ -458,6 +502,49 @@ class BTRSystem:
             excused_flows=excused,
             metrics=self.metrics.snapshot(),
         )
+
+    def _start_sharded_ticks(self, n_periods: int, period: int) -> None:
+        """Per-shard period ticks (sharded core only).
+
+        The reference run drives each period with *one* tick event that
+        iterates every agent in sorted order; here each heap shard gets
+        its own tick over its agent block so per-period timer traffic
+        lands in its own region's heap. Byte-identity is preserved by
+        three properties. First, shard agent blocks are contiguous runs
+        of the global sorted order (plan_shards guarantees it), so
+        running the shard ticks in shard order visits agents in exactly
+        the reference order. Second, each period's shard ticks are
+        scheduled back-to-back (consecutive seqs at one time — no other
+        event's key can fall between them), so they execute as one
+        uninterrupted block exactly where the reference tick would.
+        Third, the *last* shard's tick schedules all of the next
+        period's ticks — the same point in the event-issue order where
+        the reference schedules its single successor — so every later
+        (time, seq) tie breaks as the single-loop reference breaks it.
+        The n-1 extra heap events per period are debited from
+        ``events_executed``, keeping the gauge equal to the reference
+        (the mirror image of batchcore's batch credit).
+        """
+        sim = self.sim
+        n_shards = sim.n_shards
+        blocks: List[list] = [[] for _ in range(n_shards)]
+        for node_id in sorted(self.agents):
+            blocks[sim.shard_of(node_id)].append(self.agents[node_id])
+        last = n_shards - 1
+
+        def tick(shard: int, k: int) -> None:
+            if shard:
+                sim.events_executed -= 1
+            for agent in blocks[shard]:
+                agent.on_period_start(k)
+            if shard == last and k + 1 < n_periods:
+                at = (k + 1) * period
+                for s in range(n_shards):
+                    sim.call_at_in(s, at,
+                                   lambda s=s, kk=k + 1: tick(s, kk))
+
+        for s in range(n_shards):
+            sim.call_at_in(s, 0, lambda s=s: tick(s, 0))
 
     def _install_clock_sync(self) -> None:
         """Periodic clock synchronization (the paper's synchrony
@@ -572,10 +659,14 @@ class BTRSystem:
             link = self.topology.nodes[sender].link_to(receiver)
             if link is None:
                 return
+            # The receiver's heap shard rides in the memo so the sharded
+            # core routes each delivery without a per-hop dict lookup
+            # (always 0 on the single-heap engine).
             entry = (link, link.lane_for(sender, message.kind),
-                     self.topology.nodes[receiver])
+                     self.topology.nodes[receiver],
+                     self.sim.shard_of(receiver))
             self._edge_cache[key] = entry
-        link, lane, node = entry
+        link, lane, node, shard = entry
         sim = self.sim
         # Per-hop events dominate trace volume; in milestone/counts modes
         # skip the dataclass allocation entirely and count locally (the
@@ -605,10 +696,10 @@ class BTRSystem:
         # hooks may only delay) — the engine re-checks the latter.
         if link.loss_probability > 0.0 \
                 and sim.rng.random() < link.loss_probability:
-            sim.schedule(arrival, partial(  # lint: ignore[engine-schedule-bypass]
+            sim.schedule_to(shard, arrival, partial(  # lint: ignore[engine-schedule-bypass]
                 self._dropped_fast, sender, receiver, message))
             return
-        sim.schedule(arrival, partial(  # lint: ignore[engine-schedule-bypass]
+        sim.schedule_to(shard, arrival, partial(  # lint: ignore[engine-schedule-bypass]
             self._deliver_fast, node, sender, receiver, message, arrival))
 
     def _deliver_fast(self, node, sender: str, receiver: str,

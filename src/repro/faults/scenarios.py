@@ -10,6 +10,7 @@ don't need to reverse-engineer placements. Used by ``python -m repro run
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -153,6 +154,98 @@ def link_death(system) -> Scenario:
     )
 
 
+
+
+def _wan_gateways(system) -> List[str]:
+    """Sorted WAN gateway node ids (endpoints of WAN links)."""
+    gateways = set()
+    for link in system.topology.wan_links():
+        gateways.update(link.endpoints)
+    if not gateways:
+        raise ScenarioError(
+            f"topology {system.topology.name} has no WAN links; geo "
+            f"scenarios need a geo topology (see geo_topology)"
+        )
+    return sorted(gateways)
+
+
+def gateway_crash(system) -> Scenario:
+    """Crash a WAN gateway mid-run: its region drops to one WAN plane
+    and every cross-region flow through it must re-route — the geo
+    analogue of checker_host_crash, and the fault that makes
+    single-gateway regions unplannable in the first place."""
+    victims = [n for n in system.compromisable_nodes()
+               if n in set(_wan_gateways(system))]
+    if not victims:
+        raise ScenarioError("no compromisable WAN gateway (gateways "
+                            "host only protected endpoints here)")
+    victim = victims[0]
+    return Scenario(
+        name="gateway_crash",
+        description=f"crash of WAN gateway {victim}",
+        script=FaultScript([Injection(_fault_time(system), victim,
+                                      CrashFault())]),
+        link_script=[],
+    )
+
+
+def wan_brownout(system, loss: float = 0.3) -> Scenario:
+    """The first WAN link starts dropping frames (long-haul brownout:
+    EMI, congestion, a flapping carrier) — E16's link-death study at
+    geo scale, partial loss instead of total."""
+    links = system.topology.wan_links()
+    if not links:
+        raise ScenarioError(
+            f"topology {system.topology.name} has no WAN links; geo "
+            f"scenarios need a geo topology (see geo_topology)"
+        )
+    link = links[0]
+    return Scenario(
+        name="wan_brownout",
+        description=f"WAN link {link.link_id} drops {loss:.0%} of frames",
+        script=FaultScript([]),
+        link_script=[(_fault_time(system), link.link_id, loss)],
+    )
+
+
+def geo_scenario(system, regions: int, nodes_per_region: int) -> Scenario:
+    """The canonical geo rehearsal on an exact ``geo:RxM`` deployment:
+    a gateway crash with a simultaneous WAN brownout on another plane.
+
+    The shape is validated so a benchmark or CI job naming
+    ``geo:3x20`` cannot silently run against a different deployment.
+    """
+    names = system.topology.region_names()
+    if not names:
+        raise ScenarioError(
+            f"scenario geo:{regions}x{nodes_per_region} needs a geo "
+            f"topology; {system.topology.name} has no regions"
+        )
+    sizes = {r: len(system.topology.regions[r]) for r in names}
+    if len(names) != regions or set(sizes.values()) != {nodes_per_region}:
+        raise ScenarioError(
+            f"scenario geo:{regions}x{nodes_per_region} does not match "
+            f"topology {system.topology.name} "
+            f"({len(names)} regions x {sorted(set(sizes.values()))})"
+        )
+    crash = gateway_crash(system)
+    victim = crash.script.injections[0].node
+    # Brown out a WAN link that does not touch the crashed gateway, so
+    # the two faults stress different planes.
+    links = [l for l in system.topology.wan_links()
+             if victim not in l.endpoints]
+    link_script = ([(_fault_time(system, periods=3.4),
+                     links[0].link_id, 0.3)] if links else [])
+    return Scenario(
+        name=f"geo:{regions}x{nodes_per_region}",
+        description=f"gateway {victim} crashes while "
+                     f"{links[0].link_id if links else 'no WAN link'} "
+                     f"browns out",
+        script=crash.script,
+        link_script=link_script,
+    )
+
+
 SCENARIOS: Dict[str, Callable] = {
     "single_commission": lambda s: single_fault(s, "commission"),
     "single_crash": lambda s: single_fault(s, "crash"),
@@ -162,16 +255,33 @@ SCENARIOS: Dict[str, Callable] = {
     "flood_plus_fault": flood_plus_fault,
     "rogue_clock": rogue_clock,
     "link_death": link_death,
+    "gateway_crash": gateway_crash,
+    "wan_brownout": wan_brownout,
+    # Shape-validated geo composites; any ``geo:RxM`` name works (see
+    # stage()), these two are the benchmark/CI staples.
+    "geo:3x20": lambda s: geo_scenario(s, 3, 20),
+    "geo:4x40": lambda s: geo_scenario(s, 4, 40),
 }
+
+_GEO_NAME = re.compile(r"^geo:(\d+)x(\d+)$")
 
 
 def stage(name: str, system) -> Scenario:
-    """Stage a named scenario on a prepared system."""
-    try:
-        factory = SCENARIOS[name]
-    except KeyError:
+    """Stage a named scenario on a prepared system.
+
+    Besides the registry, any ``geo:RxM`` name stages
+    :func:`geo_scenario` with that shape — scenario names travel by
+    string (CLI flags, sweep specs, pool workers), so the geo family is
+    parsed rather than enumerated.
+    """
+    factory = SCENARIOS.get(name)
+    if factory is None:
+        match = _GEO_NAME.match(name)
+        if match:
+            return geo_scenario(system, int(match.group(1)),
+                                int(match.group(2)))
         raise ScenarioError(
             f"unknown scenario {name!r}; choose from "
-            f"{', '.join(sorted(SCENARIOS))}"
-        ) from None
+            f"{', '.join(sorted(SCENARIOS))} or any geo:RxM"
+        )
     return factory(system)

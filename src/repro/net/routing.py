@@ -71,6 +71,20 @@ class Router:
             for a, b in self.hops(src, dst, excluding)
         ]
 
+    def wan_crossings(self, src: str, dst: str,
+                      excluding: Optional[set] = None) -> int:
+        """How many WAN (inter-region) links the route traverses.
+
+        Zero on flat topologies and for intra-region routes. The geo
+        scenarios and the sharded executor's stats use this to tell
+        region-local traffic (which sharding runs without coordination)
+        from cross-region traffic (which rides the lookahead horizon).
+        """
+        return sum(
+            1 for a, b in self.hops(src, dst, excluding)
+            if self.topology.link_between(a, b).is_wan
+        )
+
     def invalidate(self) -> None:
         """Drop the route cache (topology mutated)."""
         self._cache.clear()

@@ -13,6 +13,8 @@ pinned to nodes through the topology's ``endpoint_map``.
 
 from __future__ import annotations
 
+import zlib
+from bisect import insort
 from typing import Dict, Iterable, List, Optional
 
 import networkx as nx
@@ -42,6 +44,9 @@ class Topology:
         self.graph = nx.Graph()
         #: Maps workload source/sink names to hosting node ids.
         self.endpoint_map: Dict[str, str] = {}
+        #: Region name -> sorted node ids, for region-tagged (geo)
+        #: topologies; empty for flat deployments.
+        self.regions: Dict[str, List[str]] = {}
 
     # ------------------------------------------------------------ building
 
@@ -50,6 +55,9 @@ class Topology:
             raise TopologyError(f"duplicate node id {node.node_id}")
         self.nodes[node.node_id] = node
         self.graph.add_node(node.node_id)
+        if node.region is not None:
+            members = self.regions.setdefault(node.region, [])
+            insort(members, node.node_id)
         return node
 
     def add_link(self, link: Link) -> Link:
@@ -128,6 +136,44 @@ class Topology:
 
     def neighbors(self, node_id: str) -> List[str]:
         return sorted(self.graph.neighbors(node_id))
+
+    # -------------------------------------------------------------- regions
+
+    def region_of(self, node_id: str) -> Optional[str]:
+        """The region tag of ``node_id`` (None on flat topologies)."""
+        try:
+            return self.nodes[node_id].region
+        except KeyError:
+            raise TopologyError(f"unknown node {node_id}") from None
+
+    def region_names(self) -> List[str]:
+        """Region names in the canonical (sorted) order.
+
+        Geo builders name regions so that this order equals the order of
+        the regions' node-id blocks under plain string sort — the sharded
+        executor's per-shard agent groups concatenate back to the global
+        sorted node order because of exactly this property.
+        """
+        return sorted(self.regions)
+
+    def wan_links(self) -> List[Link]:
+        """Inter-region links, sorted by link id."""
+        return [self.links[lid] for lid in sorted(self.links)
+                if self.links[lid].is_wan]
+
+    def min_wan_latency_us(self) -> int:
+        """Minimum propagation delay over the WAN links — the sharded
+        executor's conservative lookahead horizon.
+
+        Raises :class:`TopologyError` when the topology has no WAN links
+        (a flat topology has no safe cross-shard horizon).
+        """
+        wan = self.wan_links()
+        if not wan:
+            raise TopologyError(
+                f"topology {self.name} has no WAN links; no lookahead"
+            )
+        return min(link.propagation_us for link in wan)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Topology({self.name}, {len(self.nodes)} nodes, "
@@ -240,6 +286,90 @@ def full_mesh_topology(n: int, bandwidth: float = DEFAULT_BANDWIDTH,
             topo.add_link(Link(f"l{link_idx}", (ids[i], ids[j]), bandwidth,
                                propagation))
             link_idx += 1
+    return topo
+
+
+#: Default one-way WAN propagation delay between regions: 5 ms, i.e.
+#: 500x the default intra-region delay — the "orders of magnitude"
+#: separation that makes WAN latency a useful conservative lookahead.
+DEFAULT_WAN_LATENCY = 5000
+
+
+def geo_topology(regions: int, nodes_per_region: int,
+                 wan_latency: int = DEFAULT_WAN_LATENCY,
+                 wan_jitter: int = 0,
+                 gateways: int = 2,
+                 bandwidth: float = DEFAULT_BANDWIDTH,
+                 propagation: int = DEFAULT_PROPAGATION,
+                 speed: float = 1.0,
+                 control_share: float = 0.1) -> Topology:
+    """A multi-region deployment: full-mesh regions bridged by WAN links.
+
+    Each region ``r0..r{R-1}`` holds ``nodes_per_region`` nodes
+    (``r0n0``, ``r0n1``, …) in a full mesh of fast local links; the
+    first ``gateways`` nodes of each region are its WAN gateways, and
+    gateway ``g`` of every region pair is joined by a plane-``g`` WAN
+    link whose propagation delay is ``wan_latency`` plus a
+    deterministic per-link jitter in ``[0, wan_jitter]`` (derived from
+    the link id, never from the run RNG, so jitter cannot perturb the
+    simulation's random stream). Two gateway planes by default: a
+    single gateway would be a single point of partition, and no f >= 1
+    strategy can plan around a region that one crash can cut off.
+
+    Every node and intra-region link is tagged with its region; WAN
+    links are tagged ``is_wan``. The minimum WAN propagation delay is
+    the sharded executor's conservative lookahead, so ``wan_latency``
+    must exceed the intra-region ``propagation`` — the builder enforces
+    a 10x separation floor rather than silently producing a topology on
+    which sharding degenerates.
+
+    Region names are zero-padded to a fixed width so that sorted region
+    order equals the string-sorted order of their node-id blocks (e.g.
+    ``r02n5`` sorts inside region ``r02``'s block) — the property the
+    sharded executor's deterministic merge relies on.
+    """
+    if regions < 2:
+        raise TopologyError("geo topology needs >= 2 regions")
+    if nodes_per_region < 2:
+        raise TopologyError("geo topology needs >= 2 nodes per region")
+    if wan_jitter < 0:
+        raise TopologyError("wan_jitter must be >= 0")
+    if not 1 <= gateways <= nodes_per_region:
+        raise TopologyError(
+            f"gateways ({gateways}) must be in [1, nodes_per_region]"
+        )
+    if wan_latency < 10 * propagation:
+        raise TopologyError(
+            f"wan_latency ({wan_latency}) must be >= 10x the intra-region "
+            f"propagation ({propagation}); WAN latency is the sharded "
+            f"lookahead and must dominate local delays"
+        )
+    topo = Topology(name=f"geo{regions}x{nodes_per_region}")
+    width = len(str(regions - 1))
+    names = [f"r{j:0{width}d}" for j in range(regions)]
+    for region in names:
+        ids = [f"{region}n{i}" for i in range(nodes_per_region)]
+        for node_id in ids:
+            topo.add_node(Node(node_id, speed=speed, clock=LocalClock(),
+                               control_share=control_share,
+                               region=region))
+        link_idx = 0
+        for i in range(nodes_per_region):
+            for j in range(i + 1, nodes_per_region):
+                topo.add_link(Link(f"{region}l{link_idx}",
+                                   (ids[i], ids[j]), bandwidth,
+                                   propagation, region=region))
+                link_idx += 1
+    for g in range(gateways):
+        for a in range(regions):
+            for b in range(a + 1, regions):
+                link_id = f"wan{g}{names[a]}-{names[b]}"
+                jitter = (zlib.crc32(link_id.encode()) % (wan_jitter + 1)
+                          if wan_jitter else 0)
+                topo.add_link(Link(link_id,
+                                   (f"{names[a]}n{g}", f"{names[b]}n{g}"),
+                                   bandwidth, wan_latency + jitter,
+                                   is_wan=True))
     return topo
 
 

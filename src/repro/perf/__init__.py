@@ -14,6 +14,10 @@ how fast the artifact is produced and whether work is recomputed at all:
 * :mod:`repro.perf.batchcore` — the batched event core: vectorised
   periodic-traffic fan-outs, pooled messages, coalesced timers, and
   multi-seed sweep execution (``BTRConfig(batched_core=True)``);
+* :mod:`repro.perf.shardcore` — the region-sharded event core: per-
+  region heaps merged in exact global (time, seq) order with a WAN-
+  lookahead window structure, plus the process-pool multi-seed sweep
+  (``BTRConfig(sharded_core=True, shards=N)``);
 * :mod:`repro.perf.timing` — the one sanctioned wall-clock module (the
   determinism lint restricts ``repro/perf/`` and exempts only it).
 
@@ -36,6 +40,17 @@ from .cache import (
 )
 from .fastpath import VerifyMemo, online_stats, trace_fingerprint
 from .parallel import PlanningStats, build_strategy_fanout, resolve_jobs
+from .shardcore import (
+    GeoSweepSpec,
+    ShardedSimulator,
+    ShardingError,
+    ShardPlan,
+    guarded_delivery_hook,
+    plan_shards,
+    run_sweep_pool,
+    sharded_simulator,
+    system_for_spec,
+)
 from .symmetry import (
     candidates_symmetric,
     pattern_permutation,
@@ -58,6 +73,15 @@ __all__ = [
     "online_stats",
     "resolve_jobs",
     "trace_fingerprint",
+    "GeoSweepSpec",
+    "ShardedSimulator",
+    "ShardingError",
+    "ShardPlan",
+    "guarded_delivery_hook",
+    "plan_shards",
+    "run_sweep_pool",
+    "sharded_simulator",
+    "system_for_spec",
     "candidates_symmetric",
     "pattern_permutation",
     "rename_plan",

@@ -168,6 +168,35 @@ class Simulator:
         heapq.heappush(self._queue, (time, next(self._seq), callback))
         self._live += 1
 
+    # ---------------------------------------------- shard-aware hooks
+
+    #: Number of heap shards. The base engine is one loop over one heap;
+    #: the region-sharded executor (:mod:`repro.perf.shardcore`)
+    #: overrides these hooks to route events to per-region heaps while
+    #: preserving the global (time, seq) execution order exactly.
+    n_shards = 1
+
+    def shard_of(self, node_id: str) -> int:
+        """Heap shard hosting ``node_id``'s events (always 0 here)."""
+        return 0
+
+    def schedule_to(self, shard: int, time: int,
+                    callback: Callable[[], None]) -> None:
+        """:meth:`schedule` with an explicit target shard.
+
+        The base engine ignores ``shard`` — there is only one heap. The
+        sharded executor routes the event to the named shard's heap and
+        advances its cross-shard horizon, so hot transmit paths can call
+        this unconditionally with the receiver's shard.
+        """
+        self.schedule(time, callback)
+
+    def call_at_in(self, shard: int, time: int,
+                   callback: Callable[[], None]) -> EventHandle:
+        """:meth:`call_at` with an explicit target shard (see
+        :meth:`schedule_to`); the base engine ignores ``shard``."""
+        return self.call_at(time, callback)
+
     def _on_cancel(self) -> None:
         """Bookkeeping for one cancellation; compacts the heap when
         cancelled entries outnumber live ones (they would otherwise sit

@@ -66,6 +66,8 @@ class Link:
         bandwidth_bps: float,
         propagation_us: int = 10,
         loss_probability: float = 0.0,
+        region: Optional[str] = None,
+        is_wan: bool = False,
     ) -> None:
         if len(endpoints) < 2:
             raise ValueError("a link needs at least two endpoints")
@@ -76,6 +78,14 @@ class Link:
         self.bandwidth_bps = bandwidth_bps
         self.propagation_us = propagation_us
         self.loss_probability = loss_probability
+        #: Region tag for intra-region links (geo topologies); None for
+        #: flat deployments and for inter-region (WAN) links.
+        self.region = region
+        #: True for inter-region links. The sharded executor's
+        #: conservative lookahead is the minimum propagation delay over
+        #: these links, so their latency must dominate the intra-region
+        #: delays for sharding to win (the geo builder enforces that).
+        self.is_wan = is_wan
         self._lanes: Dict[Tuple[str, MessageKind], Lane] = {}
         self._allocated = 0.0
 

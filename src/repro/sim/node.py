@@ -75,11 +75,15 @@ class Node:
         control_share: float = DEFAULT_CONTROL_SHARE,
         is_source: bool = False,
         is_sink: bool = False,
+        region: Optional[str] = None,
     ) -> None:
         if not 0.0 < control_share < 1.0:
             raise ValueError("control_share must be in (0, 1)")
         self.node_id = node_id
         self.speed = speed
+        #: Geographic region tag (geo topologies); None for flat
+        #: deployments. The sharded executor partitions by this.
+        self.region = region
         self.clock = clock or LocalClock()
         self.is_source = is_source
         self.is_sink = is_sink

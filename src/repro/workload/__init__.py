@@ -9,6 +9,7 @@ from .generators import (
     pipeline_workload,
     power_grid_workload,
     random_workload,
+    stretched_workload,
 )
 from .task import Task, compute_output, sensor_reading
 
@@ -26,4 +27,5 @@ __all__ = [
     "pipeline_workload",
     "power_grid_workload",
     "random_workload",
+    "stretched_workload",
 ]

@@ -17,7 +17,7 @@ from typing import List, Optional
 from ..sim.random import DeterministicRandom
 from ..sim.time import ms
 from .criticality import Criticality
-from .dataflow import DataflowGraph, Flow
+from .dataflow import DataflowGraph, Flow, WorkloadError
 from .task import Task
 
 
@@ -355,3 +355,35 @@ def random_workload(
     tasks = [t for layer in layers for t in layer]
     return DataflowGraph(period=period, tasks=tasks, flows=flows,
                          sources=[source], sinks=[sink], name=name)
+
+
+def stretched_workload(graph: DataflowGraph, factor: int) -> DataflowGraph:
+    """The same dataflow at ``factor``x slower periods and deadlines.
+
+    Geo-distributed deployments run the library's domain control loops
+    at WAN-scale periods: the structure (tasks, flows, criticalities,
+    state sizes) is unchanged, but the period and every flow deadline
+    are multiplied by ``factor``. Task WCETs are *not* scaled — compute
+    does not slow down because the plant is far away — so stretching
+    strictly adds slack. The geo experiments (E22) use this to place
+    millisecond-deadline CPS workloads on topologies whose inter-region
+    links alone cost several milliseconds.
+    """
+    if factor < 1:
+        raise WorkloadError(f"stretch factor must be >= 1, got {factor}")
+    if factor == 1:
+        return graph
+    flows = [
+        Flow(name=f.name, src=f.src, dst=f.dst, size_bits=f.size_bits,
+             deadline=None if f.deadline is None else f.deadline * factor,
+             criticality=f.criticality)
+        for f in graph.flows
+    ]
+    return DataflowGraph(
+        period=graph.period * factor,
+        tasks=graph.tasks.values(),
+        flows=flows,
+        sources=graph.sources,
+        sinks=graph.sinks,
+        name=f"{graph.name}x{factor}",
+    )

@@ -9,7 +9,7 @@ import json
 import subprocess
 import sys
 
-from tools.bench_check import check, load_runs
+from tools.bench_check import check, check_geo_floor, load_runs
 
 RATIO = ("best_speedup_batched",)
 
@@ -80,3 +80,45 @@ def test_load_runs_accepts_legacy_bare_aggregate(tmp_path):
     path = tmp_path / "BENCH_sim.json"
     path.write_text(json.dumps({"cases": 3, "by_scenario": {}}))
     assert len(load_runs(str(path))) == 1
+
+
+def _geo_run(sha, max_nodes, scenarios):
+    return {
+        "git_sha": sha,
+        "cases": len(scenarios),
+        "max_nodes": max_nodes,
+        "all_traces_identical": True,
+        "by_scenario": {
+            name: {"n_nodes": nodes,
+                   "best_speedup_vs_single_loop": speedup}
+            for name, (nodes, speedup) in scenarios.items()
+        },
+    }
+
+
+def test_geo_floor_ignores_smoke_entries():
+    # A smoke entry never measures a >=100-node deployment; the floor
+    # has nothing to bite on and must not fail it.
+    runs = [_geo_run("a", 24, {"geo:3x8@n24": (24, 1.0)})]
+    assert check_geo_floor(runs) == []
+
+
+def test_geo_floor_fails_below_two_x_at_scale():
+    runs = [_geo_run("a", 120, {"geo:4x30@n120": (120, 1.5)})]
+    problems = check_geo_floor(runs)
+    assert len(problems) == 1
+    assert "floor" in problems[0]
+
+
+def test_geo_floor_passes_at_scale():
+    runs = [_geo_run("a", 120, {"geo:3x20@n60": (60, 1.2),
+                                "geo:4x30@n120": (120, 11.9)})]
+    assert check_geo_floor(runs) == []
+
+
+def test_geo_floor_rejects_inconsistent_entry():
+    # max_nodes says a big deployment ran, but no scenario records one.
+    runs = [_geo_run("a", 120, {"geo:3x8@n24": (24, 1.0)})]
+    problems = check_geo_floor(runs)
+    assert len(problems) == 1
+    assert "records no" in problems[0]

@@ -32,8 +32,23 @@ gets the same treatment with the polarity flipped:
   (smallest) earlier ratio and a >20% increase fails — a bound that
   drifts looser certifies less while still passing soundness.
 
+``benchmarks/results/BENCH_geo.json`` is the third tracked trajectory
+(region-sharded engine at geo scale, appended by E22 runs):
+
+* byte-identity across shard counts is the invariant (an entry with
+  ``all_traces_identical: false`` fails unconditionally);
+* ``best_speedup_vs_single_loop`` and ``best_shard_ratio`` per
+  deployment are ratio metrics with the usual regression threshold;
+* additionally, any full entry (one whose ``max_nodes`` is >= 100)
+  must keep the geo engine at >= 2x over the single-loop reference on
+  its >=100-node deployment — ISSUE 10's acceptance floor, enforced as
+  an absolute bar rather than a relative baseline so the trajectory
+  can never drift below it in 20% steps;
+* ``best_pool_speedup`` is core-count dependent and only checked with
+  ``--absolute``.
+
 Usage:  python tools/bench_check.py [--absolute] [--threshold PCT]
-                [--path FILE] [--bounds-path FILE]
+                [--path FILE] [--bounds-path FILE] [--geo-path FILE]
 
 Exit codes: 0 ok (or fewer than two comparable entries), 1 regression or
 broken invariant, 2 unreadable trajectory.
@@ -51,11 +66,20 @@ DEFAULT_PATH = os.path.join(REPO, "benchmarks", "results",
                             "BENCH_sim.json")
 DEFAULT_BOUNDS_PATH = os.path.join(REPO, "benchmarks", "results",
                                    "BENCH_bounds.json")
+DEFAULT_GEO_PATH = os.path.join(REPO, "benchmarks", "results",
+                                "BENCH_geo.json")
 
 RATIO_METRICS = ("best_speedup_full", "best_speedup_milestones",
                  "best_speedup_batched")
 ABSOLUTE_METRICS = ("best_events_per_s_on", "best_events_per_s_batched",
                     "best_sweep_events_per_s")
+GEO_RATIO_METRICS = ("best_speedup_vs_single_loop", "best_shard_ratio")
+GEO_ABSOLUTE_METRICS = ("best_pool_speedup",)
+
+#: ISSUE 10's acceptance floor: the sharded geo engine must stay >=2x
+#: the single-loop reference on a >=100-node deployment.
+GEO_SPEEDUP_FLOOR = 2.0
+GEO_FLOOR_NODES = 100
 
 
 def load_runs(path: str) -> list:
@@ -182,6 +206,37 @@ def check_bounds(runs: list, threshold_pct: float) -> tuple:
     return problems, new
 
 
+def check_geo_floor(runs: list) -> list:
+    """The absolute >=2x floor on the latest *full* geo entry.
+
+    Smoke entries (no >=100-node deployment measured) carry the
+    byte-identity invariant but have nothing for the floor to bite on;
+    they pass. A full entry whose best >=100-node speedup dipped below
+    the floor fails regardless of how the relative baseline moved.
+    """
+    if not runs:
+        return []
+    latest = runs[-1]
+    if (latest.get("max_nodes") or 0) < GEO_FLOOR_NODES:
+        return []
+    problems = []
+    big = {name: entry
+           for name, entry in (latest.get("by_scenario") or {}).items()
+           if (entry.get("n_nodes") or 0) >= GEO_FLOOR_NODES}
+    if not big:
+        return [f"latest geo entry claims max_nodes="
+                f"{latest.get('max_nodes')} but records no "
+                f">={GEO_FLOOR_NODES}-node scenario"]
+    for name, entry in sorted(big.items()):
+        value = entry.get("best_speedup_vs_single_loop")
+        if value is None or value < GEO_SPEEDUP_FLOOR:
+            problems.append(
+                f"{name}: geo engine at {value}x < "
+                f"{GEO_SPEEDUP_FLOOR}x floor over the single-loop "
+                f"reference")
+    return problems
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--path", default=DEFAULT_PATH, metavar="FILE",
@@ -191,6 +246,10 @@ def main() -> int:
                         metavar="FILE",
                         help="static-bounds trajectory file (default: "
                              "benchmarks/results/BENCH_bounds.json)")
+    parser.add_argument("--geo-path", default=DEFAULT_GEO_PATH,
+                        metavar="FILE",
+                        help="geo-sharding trajectory file (default: "
+                             "benchmarks/results/BENCH_geo.json)")
     parser.add_argument("--threshold", type=float, default=20.0,
                         metavar="PCT",
                         help="allowed regression in percent (default 20)")
@@ -239,13 +298,37 @@ def main() -> int:
     for entry in bounds_new:
         print(f"bench_check: NEW {entry} (no earlier baseline; "
               f"becomes one next run)")
+    try:
+        geo_runs = load_runs(args.geo_path)
+    except (OSError, ValueError) as exc:
+        print(f"bench_check: cannot read geo trajectory "
+              f"{args.geo_path}: {exc}", file=sys.stderr)
+        return 2
+    geo_metrics = GEO_RATIO_METRICS + (GEO_ABSOLUTE_METRICS
+                                       if args.absolute else ())
+    geo_problems, geo_new = check(geo_runs, geo_metrics, args.threshold)
+    problems += geo_problems
+    problems += check_geo_floor(geo_runs)
+    if geo_runs:
+        g_latest = geo_runs[-1]
+        print(f"bench_check: {len(geo_runs)} geo entries; latest "
+              f"{g_latest.get('git_sha', '?')} "
+              f"({g_latest.get('date_utc', '?')}, "
+              f"{g_latest.get('cases', 0)} cases, max "
+              f"{g_latest.get('max_nodes', 0)} nodes, best "
+              f"{g_latest.get('best_speedup_vs_single_loop')}x vs "
+              f"single loop)")
+    for entry in geo_new:
+        print(f"bench_check: NEW {entry} (no earlier baseline; "
+              f"becomes one next run)")
     if problems:
         for p in problems:
             print(f"bench_check: FAIL {p}", file=sys.stderr)
         return 1
-    print(f"bench_check: OK (no sim metric more than "
+    print(f"bench_check: OK (no sim/geo metric more than "
           f"{args.threshold:.0f}% below baseline; bounds sound, no "
-          f"tightness more than {args.threshold:.0f}% above baseline)")
+          f"tightness more than {args.threshold:.0f}% above baseline; "
+          f"geo engine above the {GEO_SPEEDUP_FLOOR}x floor)")
     return 0
 
 

@@ -50,7 +50,10 @@ hold a simulator reference but do not own the engine (``repro/core``,
 ``repro/mc``, ``repro/obs``, ``repro/faults``, ``repro/fuzz``) plus the
 batched core's sanctioned transmit paths (which carry pragmas), and
 ``allocation-in-loop`` to the batched-core hot modules
-(``repro/perf/batchcore``, ``repro/sim/message``).
+(``repro/perf/batchcore``, ``repro/sim/message``). The region-sharded
+core (``repro/perf/shardcore``) sits in every one of those scopes plus
+``int-time``: its window loops are the innermost loops of a sharded
+run, and its horizon arithmetic must stay in integer microseconds.
 """
 
 from __future__ import annotations
@@ -65,15 +68,17 @@ RESTRICTED_FRAGMENTS = ("repro/sim/", "repro/core/", "repro/perf/",
                         "repro/obs/", "repro/mc/", "repro/fuzz/")
 #: Layers where node-id iteration order leaks into campaign reports.
 NODE_ORDER_FRAGMENTS = ("repro/mc/", "repro/faults/",
-                        "repro/perf/batchcore", "repro/fuzz/")
+                        "repro/perf/batchcore", "repro/perf/shardcore",
+                        "repro/fuzz/")
 #: Layers that hold a simulator reference but do not own the engine.
 SCHEDULE_CLIENT_FRAGMENTS = ("repro/core/", "repro/mc/", "repro/obs/",
                              "repro/faults/", "repro/perf/batchcore",
-                             "repro/fuzz/")
+                             "repro/perf/shardcore", "repro/fuzz/")
 #: Hot-path modules whose steady-state loops must not allocate.
-HOT_LOOP_FRAGMENTS = ("repro/perf/batchcore", "repro/sim/message")
+HOT_LOOP_FRAGMENTS = ("repro/perf/batchcore", "repro/perf/shardcore",
+                      "repro/sim/message")
 #: Modules whose time arithmetic must stay in integer microseconds.
-INT_TIME_FRAGMENTS = ("repro/verify/bounds",)
+INT_TIME_FRAGMENTS = ("repro/verify/bounds", "repro/perf/shardcore")
 #: Sanctioned wrapper modules, exempt from the scoped rules.
 EXEMPT_SUFFIXES = ("repro/sim/time.py", "repro/sim/random.py",
                    "repro/sim/clock.py", "repro/perf/timing.py")

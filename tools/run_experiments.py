@@ -42,7 +42,14 @@ trajectories land next to the report:
   grid (soundness verdicts and per-class tightness ratios per
   scenario) aggregated from the ``bounds_stats.jsonl`` stream. Like
   ``BENCH_sim.json`` it is committed, so ``tools/bench_check.py`` can
-  fail CI when soundness breaks or tightness regresses.
+  fail CI when soundness breaks or tightness regresses;
+* ``BENCH_geo.json`` — the *tracked* geo-sharding trajectory: one
+  entry appended per suite run that exercised E22 (per-deployment
+  wall clocks for the single-loop reference vs the sharded geo
+  engine, pool sweep speedups, byte-identity verdicts) aggregated
+  from the ``geo_stats.jsonl`` stream. Committed and gated by
+  ``tools/bench_check.py``, including the >=2x speedup floor on the
+  >=100-node deployment.
 
 Usage:  python tools/run_experiments.py [--jobs N] [--only SUBSTR]
                 [--cache DIR | --no-cache] [--skip-run] [--skip-verify]
@@ -67,6 +74,7 @@ SIM_STATS = os.path.join(RESULTS, "sim_stats.jsonl")
 MC_STATS = os.path.join(RESULTS, "mc_stats.jsonl")
 FUZZ_STATS = os.path.join(RESULTS, "fuzz_stats.jsonl")
 BOUNDS_STATS = os.path.join(RESULTS, "bounds_stats.jsonl")
+GEO_STATS = os.path.join(RESULTS, "geo_stats.jsonl")
 CACHE_ENV_VAR = "REPRO_STRATEGY_CACHE"
 DEFAULT_CACHE = os.path.join(REPO, "benchmarks", ".strategy_cache")
 
@@ -96,6 +104,7 @@ ORDER = [
     "e19_batched_core",
     "e20_fuzz",
     "e21_static_bounds",
+    "e22_geo_shards",
 ]
 
 
@@ -468,6 +477,71 @@ def aggregate_bounds_stats() -> dict:
     }
 
 
+def aggregate_geo_stats() -> dict:
+    """Collapse E22's per-case jsonl into one geo-sharding summary.
+
+    Groups per deployment (``geo:RxM@nN``): wall clocks and speedups of
+    the sharded geo engine over the single-loop reference (best + worst
+    across cases), the in-process shard ratio, pool sweep speedups with
+    the core count that produced them, and whether every case's full
+    traces were byte-identical across shard counts — the invariant the
+    sharded executor is never allowed to trade away.
+    """
+    records = _read_jsonl(GEO_STATS)
+    by_scenario: dict = {}
+    for r in records:
+        key = r.get("scenario", "?")
+        if r.get("n_nodes"):
+            key = f"{key}@n{r['n_nodes']}"
+        entry = by_scenario.setdefault(key, {
+            "cases": 0,
+            "n_nodes": r.get("n_nodes", 0),
+            "sim_events": 0,
+            "best_speedup_vs_single_loop": None,
+            "worst_speedup_vs_single_loop": None,
+            "best_shard_ratio": None,
+            "best_pool_speedup": None,
+            "pool_cores": None,
+            "lookahead_us": r.get("lookahead_us"),
+            "shard_counts": r.get("shard_counts", []),
+        })
+        entry["cases"] += 1
+        entry["sim_events"] = max(entry["sim_events"],
+                                  r.get("sim_events", 0))
+        value = r.get("speedup_vs_single_loop")
+        if value is not None:
+            best = entry["best_speedup_vs_single_loop"]
+            worst = entry["worst_speedup_vs_single_loop"]
+            entry["best_speedup_vs_single_loop"] = (
+                value if best is None else max(best, value))
+            entry["worst_speedup_vs_single_loop"] = (
+                value if worst is None else min(worst, value))
+        ratio = r.get("shard_ratio")
+        if ratio is not None:
+            best = entry["best_shard_ratio"]
+            entry["best_shard_ratio"] = (ratio if best is None
+                                         else max(best, ratio))
+        pool = r.get("pool_speedup")
+        if pool is not None:
+            best = entry["best_pool_speedup"]
+            entry["best_pool_speedup"] = (pool if best is None
+                                          else max(best, pool))
+            entry["pool_cores"] = r.get("cores")
+    return {
+        "cases": len(records),
+        "all_traces_identical": all(r.get("traces_identical")
+                                    for r in records) if records else None,
+        "max_nodes": max((r.get("n_nodes", 0) for r in records),
+                         default=0),
+        "best_speedup_vs_single_loop": max(
+            (r.get("speedup_vs_single_loop") or 0 for r in records),
+            default=None),
+        "by_scenario": {k: by_scenario[k] for k in sorted(by_scenario)},
+        "experiments_seen": sorted({r.get("experiment", "?")
+                                    for r in records}),
+    }
+
+
 def write_json(path: str, payload: dict) -> None:
     tmp = path + ".tmp"
     with open(tmp, "w") as f:
@@ -536,6 +610,40 @@ def update_bounds_trajectory(path: str, aggregate: dict) -> bool:
     denominators. Returns True when an entry was appended.
     """
     if not aggregate.get("by_scenario"):
+        return False
+    try:
+        with open(path) as f:
+            existing = json.load(f)
+    except (OSError, ValueError):
+        existing = None
+    if isinstance(existing, dict) and isinstance(existing.get("runs"),
+                                                 list):
+        runs = existing["runs"]
+    else:
+        runs = []
+    from datetime import datetime, timezone
+    runs.append({
+        "git_sha": git_sha(),
+        "date_utc": datetime.now(timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        **aggregate,
+    })
+    write_json(path, {"schema": 1, "runs": runs})
+    return True
+
+
+def update_geo_trajectory(path: str, aggregate: dict) -> bool:
+    """Append this suite run's geo-sharding aggregate to the tracked
+    trajectory.
+
+    Mirrors :func:`update_sim_trajectory`: ``BENCH_geo.json`` is
+    committed, ``{"schema": 1, "runs": [entry, ...]}``, one entry per
+    suite run that actually exercised E22 (smoke or full — smoke
+    entries carry the byte-identity verdict for their small deployment
+    and simply have no >=100-node scenario for the floor to bite on).
+    Returns True when an entry was appended.
+    """
+    if not aggregate.get("cases"):
         return False
     try:
         with open(path) as f:
@@ -630,7 +738,7 @@ def main() -> int:
         os.makedirs(RESULTS, exist_ok=True)
         # Fresh planning/obs/sim/mc/fuzz-stats streams for this run.
         for stream in (PLANNER_STATS, OBS_STATS, SIM_STATS, MC_STATS,
-                       FUZZ_STATS, BOUNDS_STATS):
+                       FUZZ_STATS, BOUNDS_STATS, GEO_STATS):
             with open(stream, "w"):
                 pass
         print(f"running {len(files)} benchmark shards "
@@ -658,11 +766,17 @@ def main() -> int:
         if bounds_appended:
             print("BENCH_bounds.json: trajectory entry appended "
                   "(tracked file — commit it to extend the baseline)")
+        geo_appended = update_geo_trajectory(
+            os.path.join(RESULTS, "BENCH_geo.json"),
+            aggregate_geo_stats())
+        if geo_appended:
+            print("BENCH_geo.json: trajectory entry appended "
+                  "(tracked file — commit it to extend the baseline)")
         print(f"suite: {suite['total_wall_s']}s wall over "
               f"{len(files)} shards; perf trajectory in "
               f"BENCH_suite.json / BENCH_planner.json / "
               f"BENCH_obs.json / BENCH_sim.json / BENCH_mc.json / "
-              f"BENCH_fuzz.json / BENCH_bounds.json")
+              f"BENCH_fuzz.json / BENCH_bounds.json / BENCH_geo.json")
         failed = [s for s in suite["experiments"] if s["returncode"] != 0]
         if failed:
             print("benchmark shards failed: "
